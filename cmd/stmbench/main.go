@@ -1,0 +1,128 @@
+// Command stmbench runs the paper's integer-set benchmarks (Figures 2-5):
+// throughput and abort rates of TinySTM write-back / write-through and TL2
+// over the red-black tree and sorted linked list micro-benchmarks.
+//
+// Examples:
+//
+//	stmbench                      # all panels of Figures 2-4, paper scale
+//	stmbench -fig 5               # the Figure 5 size x update surface
+//	stmbench -fig 3 -quick -csv   # fast smoke run, CSV output
+//	stmbench -b skiplist -size 1024 -update 20   # extension workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tinystm/internal/cliutil"
+	"tinystm/internal/core"
+	"tinystm/internal/experiments"
+	"tinystm/internal/harness"
+)
+
+// defaultGeometry matches the fixed configuration the non-sweep figures
+// use (2^20 locks, no shift, hierarchy disabled).
+var defaultGeometry = core.Params{Locks: 1 << 20, Shifts: 0, Hier: 1}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stmbench: ")
+
+	var (
+		fig      = flag.String("fig", "all", "figure to reproduce: 2, 3, 4, 4r, 5, all, custom")
+		bench    = flag.String("b", "rbtree", "structure for -fig custom (list, rbtree, skiplist, hashset)")
+		size     = flag.Int("size", 4096, "initial elements for -fig custom")
+		update   = flag.Int("update", 20, "update percentage for -fig custom")
+		threads  = flag.String("threads", "1,2,4,6,8", "comma-separated thread counts")
+		duration = flag.Duration("duration", time.Second, "measurement window per point")
+		warmup   = flag.Duration("warmup", 200*time.Millisecond, "warm-up before measuring")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		quick    = flag.Bool("quick", false, "milliseconds-scale smoke run")
+		yield_   = flag.Int("yield", 0, "yield after every N loads (multi-core interleaving simulation; 0 = off)")
+		repeats  = flag.Int("repeats", 1, "measurements per point (maximum kept)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	ths, err := cliutil.ParseInts(*threads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := cliutil.Scale(*duration, *warmup, ths, *seed, *quick, *yield_)
+	sc.Repeats = *repeats
+
+	emit := func(tbl harness.Table) {
+		if *csv {
+			tbl.RenderCSV(os.Stdout)
+		} else {
+			tbl.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+
+	switch *fig {
+	case "2":
+		runFig2(sc, emit)
+	case "3":
+		runFig3(sc, emit)
+	case "4":
+		runFig4(sc, emit)
+	case "4r":
+		emit(experiments.Figure4Overwrite(sc, 256, 5).ToTable("throughput"))
+	case "5":
+		runFig5(sc, emit)
+	case "all":
+		runFig2(sc, emit)
+		runFig3(sc, emit)
+		runFig4(sc, emit)
+		emit(experiments.Figure4Overwrite(sc, 256, 5).ToTable("throughput"))
+	case "custom":
+		kind, err := cliutil.ParseKind(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ip := harness.IntsetParams{Kind: kind, InitialSize: *size, UpdatePct: *update}
+		tbl := harness.Table{
+			Title:   fmt.Sprintf("custom: %v, %d elements, %d%% updates", kind, *size, *update),
+			Headers: []string{"threads", "system", "throughput (10^3/s)", "aborts (10^3/s)"},
+		}
+		for _, th := range sc.Threads {
+			for _, sys := range experiments.AllSystems {
+				p := experiments.RunIntsetPoint(sc, sys, defaultGeometry, ip, th)
+				tbl.AddRow(th, sys.String(),
+					fmt.Sprintf("%.1f", p.Throughput/1000),
+					fmt.Sprintf("%.1f", p.AbortRate/1000))
+			}
+		}
+		emit(tbl)
+	default:
+		log.Fatalf("unknown -fig %q", *fig)
+	}
+}
+
+func runFig2(sc experiments.Scale, emit func(harness.Table)) {
+	for _, c := range []struct{ size, update int }{{256, 20}, {4096, 20}, {4096, 60}} {
+		emit(experiments.Figure2(sc, c.size, c.update).ToTable("throughput"))
+	}
+}
+
+func runFig3(sc experiments.Scale, emit func(harness.Table)) {
+	for _, c := range []struct{ size, update int }{{256, 0}, {256, 20}, {4096, 20}} {
+		emit(experiments.Figure3(sc, c.size, c.update).ToTable("throughput"))
+	}
+}
+
+func runFig4(sc experiments.Scale, emit func(harness.Table)) {
+	emit(experiments.Figure4Aborts(sc, harness.KindRBTree, 4096, 20).ToTable("aborts"))
+	emit(experiments.Figure4Aborts(sc, harness.KindList, 256, 20).ToTable("aborts"))
+}
+
+func runFig5(sc experiments.Scale, emit func(harness.Table)) {
+	sizes := []int{256, 512, 1024, 2048, 4096}
+	updates := []int{0, 20, 40, 60, 80, 100}
+	emit(experiments.Figure5(sc, harness.KindRBTree, sizes, updates).ToTable())
+	emit(experiments.Figure5(sc, harness.KindList, sizes, updates).ToTable())
+}

@@ -1,0 +1,105 @@
+// Command sweep reproduces the parameter-sweep figures (6, 8 and 9):
+// throughput over the (#locks × #shifts) grid, the influence of the
+// hierarchical array size, and the improvement curves.
+//
+// Examples:
+//
+//	sweep -fig 6 -b rbtree           # Figure 6, red-black tree surface
+//	sweep -fig 8 -b list -quick      # Figure 8 at smoke scale
+//	sweep -fig 9                     # all three Figure 9 panels
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tinystm/internal/cliutil"
+	"tinystm/internal/experiments"
+	"tinystm/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+
+	var (
+		fig      = flag.String("fig", "6", "figure to reproduce: 6, 8, 9")
+		bench    = flag.String("b", "rbtree", "structure (list, rbtree)")
+		locks    = flag.String("locks", "8,10,12,14,16,18,20,22,24", "lock-array exponents")
+		shifts   = flag.String("shifts", "0,1,2,3,4,5,6", "shift values")
+		hiers    = flag.String("hiers", "4,16,64,256", "hierarchical sizes (fig 9 right)")
+		threads  = flag.String("threads", "1,2,4,6,8", "thread counts (max used)")
+		duration = flag.Duration("duration", time.Second, "window per point")
+		warmup   = flag.Duration("warmup", 200*time.Millisecond, "warm-up per point")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		quick    = flag.Bool("quick", false, "milliseconds-scale smoke run")
+		yield_   = flag.Int("yield", 0, "yield after every N loads (multi-core interleaving simulation; 0 = off)")
+		repeats  = flag.Int("repeats", 1, "measurements per point (maximum kept)")
+		csv      = flag.Bool("csv", false, "CSV output")
+	)
+	flag.Parse()
+
+	ths, err := cliutil.ParseInts(*threads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	les, err := cliutil.ParseInts(*locks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shs, err := cliutil.ParseUints(*shifts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs, err := cliutil.ParseUint64s(*hiers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kind, err := cliutil.ParseKind(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := cliutil.Scale(*duration, *warmup, ths, *seed, *quick, *yield_)
+	sc.Repeats = *repeats
+	if *quick {
+		// Keep smoke runs small: trim the grid.
+		if len(les) > 3 {
+			les = les[:3]
+		}
+		if len(shs) > 3 {
+			shs = shs[:3]
+		}
+	}
+
+	emit := func(tbl harness.Table) {
+		if *csv {
+			tbl.RenderCSV(os.Stdout)
+		} else {
+			tbl.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+
+	switch *fig {
+	case "6":
+		r := experiments.Figure6(sc, kind, les, shs)
+		emit(r.ToTable())
+		best, tp := r.Best()
+		fmt.Printf("best static configuration: %v at %.1f x10^3 txs/s\n", best, tp/1000)
+	case "8":
+		r := experiments.Figure8(sc, kind, les, shs)
+		emit(r.ToTable())
+		best, tp := r.Best()
+		fmt.Printf("best static configuration: %v at %.1f x10^3 txs/s\n", best, tp/1000)
+	case "9":
+		emit(experiments.Figure9Locks(sc, les).ToTable())
+		maxExp := les[len(les)-1]
+		emit(experiments.Figure9Shifts(sc, maxExp, shs).ToTable())
+		emit(experiments.Figure9Hier(sc, maxExp, hs).ToTable())
+	default:
+		log.Fatalf("unknown -fig %q (6, 8, 9)", *fig)
+	}
+}

@@ -1,0 +1,86 @@
+// Command tune reproduces the dynamic-tuning experiments (Figures 10, 11
+// and 12): a hill-climbing tuner adjusts (#locks, #shifts, h) on a live
+// TinySTM while the workload runs, printing the configuration path, the
+// throughput trace, and the validation fast-path counters.
+//
+// Examples:
+//
+//	tune -b rbtree                  # Figure 10
+//	tune -b list                    # Figure 11 (+ Figure 12 table)
+//	tune -b list -periods 40 -period 1s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tinystm/internal/cliutil"
+	"tinystm/internal/core"
+	"tinystm/internal/experiments"
+	"tinystm/internal/harness"
+	"tinystm/internal/tuning"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tune: ")
+
+	var (
+		bench    = flag.String("b", "rbtree", "structure (list, rbtree, skiplist, hashset)")
+		size     = flag.Int("size", 4096, "initial elements")
+		update   = flag.Int("update", 20, "update percentage")
+		threads  = flag.Int("threads", 8, "worker threads")
+		periods  = flag.Int("periods", 40, "tuning periods (configurations)")
+		period   = flag.Duration("period", time.Second, "measurement interval")
+		samples  = flag.Int("samples", 3, "samples per configuration (max used)")
+		startExp = flag.Int("start-locks", 8, "initial lock exponent (paper: 8)")
+		seed     = flag.Uint64("seed", 42, "seed")
+		quick    = flag.Bool("quick", false, "milliseconds-scale smoke run")
+		yield    = flag.Int("yield", 0, "yield after every N loads (multi-core interleaving simulation; 0 = off)")
+		csv      = flag.Bool("csv", false, "CSV output")
+	)
+	flag.Parse()
+
+	kind, err := cliutil.ParseKind(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := experiments.PaperScale()
+	sc.Seed = *seed
+	if *quick {
+		sc = experiments.QuickScale()
+		*period = 10 * time.Millisecond
+		if *periods > 12 {
+			*periods = 12
+		}
+		*threads = 2
+	}
+	sc.YieldEvery = *yield
+
+	tc := experiments.TuneConfig{
+		Kind: kind, Size: *size, UpdatePct: *update,
+		Threads: *threads, Periods: *periods, Period: *period,
+		SamplesPerConfig: *samples,
+		Start:            core.Params{Locks: 1 << *startExp, Shifts: 0, Hier: 1},
+		Bounds:           tuning.DefaultBounds(),
+		Seed:             *seed,
+	}
+	r := experiments.RunTuning(sc, tc)
+
+	emit := func(tbl harness.Table) {
+		if *csv {
+			tbl.RenderCSV(os.Stdout)
+		} else {
+			tbl.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+	title := fmt.Sprintf("Figure 10/11: auto-tuning, %v, size=%d, threads=%d", kind, *size, *threads)
+	emit(r.TraceTable(title))
+	emit(r.ValidationTable())
+	fmt.Printf("final configuration: %v\n", r.Final)
+	fmt.Printf("best configuration:  %v at %.1f x10^3 txs/s\n", r.Best, r.BestTp/1000)
+}

@@ -1,0 +1,111 @@
+// Command vacation runs the STAMP Vacation reproduction: either a single
+// timed run, or the Figure 7 (#locks × #shifts) sweep.
+//
+// Examples:
+//
+//	vacation                         # single paper-scale run
+//	vacation -sweep                  # Figure 7 grid
+//	vacation -r 16384 -q 90 -u 80 -n 4 -threads 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tinystm/internal/cliutil"
+	"tinystm/internal/core"
+	"tinystm/internal/experiments"
+	"tinystm/internal/harness"
+	"tinystm/internal/vacation"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vacation: ")
+
+	var (
+		relations = flag.Int("r", 1<<12, "records per relation")
+		queryPct  = flag.Int("q", 90, "percent of relations queried")
+		userPct   = flag.Int("u", 80, "percent of user (reservation) transactions")
+		queries   = flag.Int("n", 4, "queries per transaction")
+		threads   = flag.String("threads", "1,2,4,6,8", "thread counts")
+		duration  = flag.Duration("duration", time.Second, "window per point")
+		warmup    = flag.Duration("warmup", 200*time.Millisecond, "warm-up per point")
+		sweep     = flag.Bool("sweep", false, "run the Figure 7 locks x shifts sweep")
+		locks     = flag.String("locks", "16,18,20,22,24", "lock exponents for -sweep")
+		shifts    = flag.String("shifts", "0,2,4,6,8", "shift values for -sweep")
+		seed      = flag.Uint64("seed", 42, "seed")
+		quick     = flag.Bool("quick", false, "milliseconds-scale smoke run")
+		yield_    = flag.Int("yield", 0, "yield after every N loads (multi-core interleaving simulation; 0 = off)")
+		repeats   = flag.Int("repeats", 1, "measurements per point (maximum kept)")
+		csv       = flag.Bool("csv", false, "CSV output")
+	)
+	flag.Parse()
+
+	ths, err := cliutil.ParseInts(*threads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := cliutil.Scale(*duration, *warmup, ths, *seed, *quick, *yield_)
+	sc.Repeats = *repeats
+	vp := vacation.Params{
+		Relations: *relations, QueryPct: *queryPct,
+		UserPct: *userPct, QueriesPerTx: *queries,
+	}
+	if *quick {
+		vp.Relations = 256
+		sc.Duration = 40 * time.Millisecond
+	}
+
+	emit := func(tbl harness.Table) {
+		if *csv {
+			tbl.RenderCSV(os.Stdout)
+		} else {
+			tbl.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+
+	if *sweep {
+		les, err := cliutil.ParseInts(*locks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shs, err := cliutil.ParseUints(*shifts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *quick {
+			if len(les) > 2 {
+				les = les[:2]
+			}
+			if len(shs) > 2 {
+				shs = shs[:2]
+			}
+		}
+		r := experiments.Figure7(sc, vp, les, shs)
+		emit(r.ToTable())
+		best, tp := r.Best()
+		fmt.Printf("best configuration: %v at %.1f x10^3 txs/s\n", best, tp/1000)
+		return
+	}
+
+	tbl := harness.Table{
+		Title: fmt.Sprintf("Vacation: r=%d q=%d%% u=%d%% n=%d",
+			vp.Relations, vp.QueryPct, vp.UserPct, vp.QueriesPerTx),
+		Headers: []string{"threads", "design", "throughput (10^3/s)", "aborts (10^3/s)"},
+	}
+	geo := core.Params{Locks: 1 << 20, Shifts: 0, Hier: 1}
+	for _, th := range sc.Threads {
+		for _, d := range []core.Design{core.WriteBack, core.WriteThrough} {
+			p := experiments.RunVacationPoint(sc, d, geo, vp, th)
+			tbl.AddRow(th, d.String(),
+				fmt.Sprintf("%.1f", p.Throughput/1000),
+				fmt.Sprintf("%.1f", p.AbortRate/1000))
+		}
+	}
+	emit(tbl)
+}

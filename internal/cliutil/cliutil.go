@@ -1,0 +1,99 @@
+// Package cliutil holds the small amount of flag plumbing shared by the
+// benchmark executables in cmd/.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"tinystm/internal/experiments"
+	"tinystm/internal/harness"
+)
+
+// ParseInts parses a comma-separated integer list ("1,2,4,6,8").
+func ParseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: bad integer %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cliutil: empty list %q", s)
+	}
+	return out, nil
+}
+
+// ParseUints parses a comma-separated list of unsigned integers.
+func ParseUints(s string) ([]uint, error) {
+	ints, err := ParseInts(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint, len(ints))
+	for i, v := range ints {
+		if v < 0 {
+			return nil, fmt.Errorf("cliutil: negative value %d", v)
+		}
+		out[i] = uint(v)
+	}
+	return out, nil
+}
+
+// ParseUint64s parses a comma-separated list of uint64s.
+func ParseUint64s(s string) ([]uint64, error) {
+	ints, err := ParseInts(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(ints))
+	for i, v := range ints {
+		if v < 0 {
+			return nil, fmt.Errorf("cliutil: negative value %d", v)
+		}
+		out[i] = uint64(v)
+	}
+	return out, nil
+}
+
+// ParseKind maps a benchmark name to a harness kind.
+func ParseKind(s string) (harness.Kind, error) {
+	switch strings.ToLower(s) {
+	case "list", "linkedlist", "ll":
+		return harness.KindList, nil
+	case "rbtree", "tree", "rb":
+		return harness.KindRBTree, nil
+	case "skiplist", "skip":
+		return harness.KindSkipList, nil
+	case "hashset", "hash":
+		return harness.KindHashSet, nil
+	default:
+		return 0, fmt.Errorf("cliutil: unknown benchmark %q (list, rbtree, skiplist, hashset)", s)
+	}
+}
+
+// Scale assembles an experiments.Scale from common flag values.
+func Scale(duration, warmup time.Duration, threads []int, seed uint64, quick bool, yield int) experiments.Scale {
+	if quick {
+		sc := experiments.QuickScale()
+		sc.Threads = threads
+		sc.YieldEvery = yield
+		return sc
+	}
+	sc := experiments.PaperScale()
+	sc.Duration = duration
+	sc.Warmup = warmup
+	sc.Threads = threads
+	sc.Seed = seed
+	sc.YieldEvery = yield
+	return sc
+}

@@ -1,0 +1,22 @@
+package core
+
+import "sync/atomic"
+
+// clock is the global time base: a shared integer counter (paper Section
+// 3.1, "Clock Management"). It is padded to its own cache line because
+// every update commit increments it.
+type clock struct {
+	_ [64]byte
+	v atomic.Uint64
+	_ [64]byte
+}
+
+// now returns the timestamp of the last committed update transaction.
+func (c *clock) now() uint64 { return c.v.Load() }
+
+// fetchInc issues the next commit timestamp.
+func (c *clock) fetchInc() uint64 { return c.v.Add(1) }
+
+// reset rewinds the clock to zero during a roll-over (all transactions are
+// quiescent when this runs).
+func (c *clock) reset() { c.v.Store(0) }

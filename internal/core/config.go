@@ -1,0 +1,186 @@
+// Package core implements TinySTM: the word-based, time-based software
+// transactional memory of Felber, Fetzer and Riegel (PPoPP 2008).
+//
+// The design follows the paper's Section 3: a shared array of versioned
+// locks protects stripes of the word-addressed memory space; transactions
+// acquire locks at encounter time; a global time base (shared counter)
+// orders commits; snapshots are extended lazily as in the LSA algorithm;
+// and an optional hierarchical array of counters lets update transactions
+// skip validating most of their read set (Section 3.2). Both the
+// write-through and write-back access strategies are implemented, selected
+// by Config.Design. Runtime parameters (#locks, #shifts, h) can be changed
+// on a live TM via Reconfigure, which reuses the clock roll-over
+// stop-the-world mechanism (Section 4.2).
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tinystm/internal/mem"
+)
+
+// Design selects how transactions write to memory (paper Section 3.1,
+// "Write-through vs. Write-back").
+type Design int
+
+const (
+	// WriteBack delays updates in a write log until commit. Lower abort
+	// overhead; no incarnation numbers needed.
+	WriteBack Design = iota
+	// WriteThrough writes directly to memory and undoes on abort. Lower
+	// commit overhead and O(1) read-after-write, but aborts must restore
+	// memory and bump incarnation numbers.
+	WriteThrough
+)
+
+// String returns the conventional short name used in the paper's figures.
+func (d Design) String() string {
+	switch d {
+	case WriteBack:
+		return "WB"
+	case WriteThrough:
+		return "WT"
+	default:
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// MaxHier is the largest supported hierarchical array size (paper Figure 9
+// explores h up to 256).
+const MaxHier = 256
+
+// maxSlots bounds the number of transaction descriptors a TM can mint;
+// owner slots must fit the lock-word layout (23 bits available).
+const maxSlots = 1 << 14
+
+// Config parameterizes a TM instance. The three tunable parameters of
+// Section 4 are Locks, Shifts and Hier.
+type Config struct {
+	// Space is the memory arena the TM protects. Required.
+	Space *mem.Space
+	// Locks is the number of entries in the lock array (the paper's
+	// #locks, l). Must be a power of two. Default 2^16 (the paper's
+	// "sensible" starting point).
+	Locks uint64
+	// Shifts is the number of extra right-shifts applied to an address
+	// before indexing the lock array (the paper's #shifts). Controls how
+	// many contiguous words map to the same lock. Addresses here are
+	// word indices, so the paper's implicit word-alignment shift of 3 is
+	// already accounted for. Default 0.
+	Shifts uint
+	// Hier is the size h of the hierarchical counter array. Must be a
+	// power of two, 1 <= Hier <= MaxHier and Hier <= Locks. 1 disables
+	// hierarchical locking. Default 1.
+	Hier uint64
+	// Hier2 enables the paper's proposed generalization of hierarchical
+	// locking "to multiple levels of nesting" (Section 3.2): a second,
+	// smaller array of Hier2 counters, each covering Hier/Hier2 first-
+	// level buckets. Validation checks the coarse counter first and can
+	// skip whole groups of buckets at once. Must be a power of two with
+	// 1 <= Hier2 <= Hier; 1 (the default) disables the second level.
+	// Unlike the triple (Locks, Shifts, Hier), Hier2 is not a dynamic
+	// tuning parameter — it survives Reconfigure unchanged.
+	Hier2 uint64
+	// Design selects write-back (default) or write-through access.
+	Design Design
+	// MaxClock overrides the roll-over threshold of the global clock.
+	// Zero selects the design's natural maximum (2^60-ish). Tests use
+	// small values to exercise roll-over.
+	MaxClock uint64
+	// BackoffOnAbort enables bounded randomized exponential backoff
+	// between retries (a contention-management extension; the paper
+	// aborts and retries immediately, which remains the default).
+	BackoffOnAbort bool
+	// ConflictSpin bounds how long an access spins waiting for a
+	// foreign lock to be released before aborting. The paper notes a
+	// transaction "can try to wait for some time or abort immediately"
+	// and picks the latter (footnote 2 warns unbounded waiting risks
+	// deadlock); 0 — the default — reproduces the paper's choice, while
+	// a positive value re-checks the lock that many times.
+	ConflictSpin int
+	// YieldEvery, when positive, yields the processor after every N
+	// transactional loads. This simulates the fine-grained interleaving
+	// of the paper's 8-core testbed on hosts with fewer cores: without
+	// it, transactions on a single CPU run to completion within one
+	// scheduler slice and conflict-driven behaviour (aborts, doomed
+	// traversals, snapshot extensions) never surfaces. Zero — the
+	// default — disables yielding. See EXPERIMENTS.md.
+	YieldEvery int
+}
+
+// withDefaults returns c with zero fields replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.Locks == 0 {
+		c.Locks = 1 << 16
+	}
+	if c.Hier == 0 {
+		c.Hier = 1
+	}
+	if c.Hier2 == 0 {
+		c.Hier2 = 1
+	}
+	if c.MaxClock == 0 {
+		if c.Design == WriteThrough {
+			c.MaxClock = 1 << 59
+		} else {
+			c.MaxClock = 1 << 62
+		}
+	}
+	return c
+}
+
+// validate reports whether the (defaulted) configuration is usable.
+func (c Config) validate() error {
+	if c.Space == nil {
+		return fmt.Errorf("core: Config.Space is required")
+	}
+	if c.Locks == 0 || bits.OnesCount64(c.Locks) != 1 {
+		return fmt.Errorf("core: Locks (%d) must be a power of two", c.Locks)
+	}
+	if c.Hier == 0 || bits.OnesCount64(c.Hier) != 1 {
+		return fmt.Errorf("core: Hier (%d) must be a power of two", c.Hier)
+	}
+	if c.Hier > MaxHier {
+		return fmt.Errorf("core: Hier (%d) exceeds MaxHier (%d)", c.Hier, MaxHier)
+	}
+	if c.Hier > c.Locks {
+		return fmt.Errorf("core: Hier (%d) must not exceed Locks (%d)", c.Hier, c.Locks)
+	}
+	if c.Hier2 == 0 || bits.OnesCount64(c.Hier2) != 1 {
+		return fmt.Errorf("core: Hier2 (%d) must be a power of two", c.Hier2)
+	}
+	if c.Hier2 > c.Hier {
+		return fmt.Errorf("core: Hier2 (%d) must not exceed Hier (%d)", c.Hier2, c.Hier)
+	}
+	if c.Hier2 > 1 && c.Hier == 1 {
+		return fmt.Errorf("core: Hier2 requires hierarchical locking (Hier > 1)")
+	}
+	if c.Shifts > 32 {
+		return fmt.Errorf("core: Shifts (%d) out of range [0,32]", c.Shifts)
+	}
+	if c.Design != WriteBack && c.Design != WriteThrough {
+		return fmt.Errorf("core: unknown Design %d", int(c.Design))
+	}
+	if c.MaxClock < 2 {
+		return fmt.Errorf("core: MaxClock (%d) too small", c.MaxClock)
+	}
+	if maxVer := maxVersion(c.Design); c.MaxClock > maxVer {
+		return fmt.Errorf("core: MaxClock (%d) exceeds representable version (%d) for design %v",
+			c.MaxClock, maxVer, c.Design)
+	}
+	return nil
+}
+
+// Params is the tunable triple of Section 4, reported and adjusted as a
+// unit by the dynamic tuner.
+type Params struct {
+	Locks  uint64
+	Shifts uint
+	Hier   uint64
+}
+
+// String renders the triple like the paper's configuration labels.
+func (p Params) String() string {
+	return fmt.Sprintf("(locks=2^%d, shifts=%d, h=%d)", bits.TrailingZeros64(p.Locks), p.Shifts, p.Hier)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// freezer implements the stop-the-world barrier the paper uses for both
+// clock roll-over (Section 3.1) and dynamic reconfiguration (Section 4.2):
+// "we use the same mechanisms as for clock roll-over to temporarily
+// suspend transactions and update the tuning parameters".
+//
+// Protocol: an initiator raises the frozen flag and waits for the count of
+// active transactions to drain to zero. Transactions observe the flag at
+// begin and at every load/store/commit; in-flight transactions abort
+// (releasing their locks) and park; new transactions park before starting.
+// Once quiescent, the initiator mutates shared state (clock, lock array,
+// geometry) and lowers the flag, waking everyone.
+type freezer struct {
+	frozen atomic.Uint32
+	active atomic.Int64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func (f *freezer) init() { f.cond = sync.NewCond(&f.mu) }
+
+// enter marks one transaction active, parking first if the TM is frozen.
+func (f *freezer) enter() {
+	for {
+		f.active.Add(1)
+		if f.frozen.Load() == 0 {
+			return
+		}
+		// Raced with a freeze: retreat, wake the initiator in case we
+		// were the last active transaction it was waiting for, and park.
+		f.active.Add(-1)
+		f.mu.Lock()
+		f.cond.Broadcast()
+		for f.frozen.Load() != 0 {
+			f.cond.Wait()
+		}
+		f.mu.Unlock()
+	}
+}
+
+// exit marks one transaction inactive.
+func (f *freezer) exit() {
+	f.active.Add(-1)
+	if f.frozen.Load() != 0 {
+		f.mu.Lock()
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	}
+}
+
+// isFrozen is the cheap per-operation check.
+func (f *freezer) isFrozen() bool { return f.frozen.Load() != 0 }
+
+// freeze blocks until this caller holds the (unique) frozen state and all
+// transactions are quiescent. The caller must not be inside a transaction.
+func (f *freezer) freeze() {
+	f.mu.Lock()
+	for !f.frozen.CompareAndSwap(0, 1) {
+		// Another initiator is mid-freeze; wait for it to finish, then
+		// compete again.
+		f.cond.Wait()
+	}
+	for f.active.Load() > 0 {
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+}
+
+// unfreeze releases the barrier. Only the thread that won freeze may call.
+func (f *freezer) unfreeze() {
+	f.mu.Lock()
+	f.frozen.Store(0)
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}

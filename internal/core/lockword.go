@@ -1,0 +1,83 @@
+package core
+
+// Lock-word layout (paper Section 3.1, Figure 1).
+//
+// Each entry of the lock array is one 64-bit word whose least significant
+// bit says whether the lock is owned:
+//
+//	write-back, unlocked:    [ version:63                    | 0 ]
+//	write-through, unlocked: [ version:60 | incarnation:3    | 0 ]
+//	locked (both designs):   [ slot:23    | entry index:40   | 1 ]
+//
+// The paper stores a pointer to the owner transaction (write-through) or
+// to a write-set entry (write-back) in the remaining bits; Go cannot hide
+// pointers inside integers, so we store a (descriptor slot, entry index)
+// pair instead. The entry index points at the owner's write-set chain head
+// (write-back) or owned-lock record (write-through), preserving the O(1)
+// read-after-write lookup the paper credits the design with.
+
+const (
+	lockBit = uint64(1)
+
+	// Owned layout.
+	entryBits = 40
+	entryMask = (uint64(1) << entryBits) - 1
+	slotBits  = 23
+	slotMask  = (uint64(1) << slotBits) - 1
+
+	// Write-through incarnation field (paper: three bits; overflow takes
+	// a fresh version from the clock).
+	incBits  = 3
+	incMask  = (uint64(1) << incBits) - 1
+	incShift = 1
+)
+
+func isOwned(lw uint64) bool { return lw&lockBit != 0 }
+
+// mkOwned builds a locked word for owner slot and entry index.
+func mkOwned(slot int, entry int) uint64 {
+	return uint64(slot)<<(1+entryBits) | uint64(entry)<<1 | lockBit
+}
+
+func ownerSlot(lw uint64) int  { return int(lw >> (1 + entryBits) & slotMask) }
+func ownerEntry(lw uint64) int { return int(lw >> 1 & entryMask) }
+
+// Write-back unlocked words.
+
+func mkVersionWB(ver uint64) uint64 { return ver << 1 }
+func versionWB(lw uint64) uint64    { return lw >> 1 }
+
+// Write-through unlocked words.
+
+func mkVersionWT(ver, inc uint64) uint64 {
+	return ver<<(1+incBits) | (inc&incMask)<<incShift
+}
+func versionWT(lw uint64) uint64     { return lw >> (1 + incBits) }
+func incarnationWT(lw uint64) uint64 { return lw >> incShift & incMask }
+
+// version extracts the version for the given design from an unlocked word.
+func version(d Design, lw uint64) uint64 {
+	if d == WriteThrough {
+		return versionWT(lw)
+	}
+	return versionWB(lw)
+}
+
+// mkVersion builds an unlocked word carrying ver (incarnation zero for
+// write-through; commits reset incarnations because the version changed).
+func mkVersion(d Design, ver uint64) uint64 {
+	if d == WriteThrough {
+		return mkVersionWT(ver, 0)
+	}
+	return mkVersionWB(ver)
+}
+
+// maxVersion is the largest version representable for a design, which
+// bounds the clock before roll-over (paper: 2^60 / 2^63 on 64-bit, minus
+// the incarnation bits for write-through).
+func maxVersion(d Design) uint64 {
+	if d == WriteThrough {
+		return 1<<60 - 1
+	}
+	return 1<<63 - 1
+}

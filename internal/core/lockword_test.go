@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLockWordOwnedRoundTrip(t *testing.T) {
+	cases := []struct {
+		slot, entry int
+	}{
+		{0, 0}, {1, 0}, {0, 1}, {7, 13}, {maxSlots - 1, 1<<entryBits - 1},
+	}
+	for _, c := range cases {
+		lw := mkOwned(c.slot, c.entry)
+		if !isOwned(lw) {
+			t.Errorf("mkOwned(%d,%d) not owned", c.slot, c.entry)
+		}
+		if got := ownerSlot(lw); got != c.slot {
+			t.Errorf("ownerSlot = %d, want %d", got, c.slot)
+		}
+		if got := ownerEntry(lw); got != c.entry {
+			t.Errorf("ownerEntry = %d, want %d", got, c.entry)
+		}
+	}
+}
+
+func TestLockWordOwnedRoundTripQuick(t *testing.T) {
+	f := func(slot uint16, entry uint32) bool {
+		s := int(slot) % maxSlots
+		e := int(entry) // always < 2^40
+		lw := mkOwned(s, e)
+		return isOwned(lw) && ownerSlot(lw) == s && ownerEntry(lw) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockWordVersionWB(t *testing.T) {
+	for _, ver := range []uint64{0, 1, 42, 1 << 40, maxVersion(WriteBack)} {
+		lw := mkVersionWB(ver)
+		if isOwned(lw) {
+			t.Errorf("version word %d reads as owned", ver)
+		}
+		if got := versionWB(lw); got != ver {
+			t.Errorf("versionWB = %d, want %d", got, ver)
+		}
+	}
+}
+
+func TestLockWordVersionWTRoundTripQuick(t *testing.T) {
+	f := func(ver uint64, inc uint8) bool {
+		v := ver % (maxVersion(WriteThrough) + 1)
+		i := uint64(inc) & incMask
+		lw := mkVersionWT(v, i)
+		return !isOwned(lw) && versionWT(lw) == v && incarnationWT(lw) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockWordIncarnationDoesNotDisturbVersion(t *testing.T) {
+	for inc := uint64(0); inc <= incMask; inc++ {
+		lw := mkVersionWT(77, inc)
+		if versionWT(lw) != 77 {
+			t.Fatalf("incarnation %d corrupted version: %d", inc, versionWT(lw))
+		}
+		if incarnationWT(lw) != inc {
+			t.Fatalf("incarnation round trip failed: got %d want %d", incarnationWT(lw), inc)
+		}
+	}
+}
+
+func TestVersionHelpersDispatch(t *testing.T) {
+	if version(WriteBack, mkVersion(WriteBack, 9)) != 9 {
+		t.Error("WB dispatch broken")
+	}
+	if version(WriteThrough, mkVersion(WriteThrough, 9)) != 9 {
+		t.Error("WT dispatch broken")
+	}
+	if incarnationWT(mkVersion(WriteThrough, 9)) != 0 {
+		t.Error("mkVersion should reset incarnation")
+	}
+}
+
+func TestMask256(t *testing.T) {
+	var m mask256
+	for _, i := range []uint64{0, 1, 63, 64, 127, 128, 255} {
+		if m.has(i) {
+			t.Fatalf("fresh mask has bit %d", i)
+		}
+		m.set(i)
+		if !m.has(i) {
+			t.Fatalf("set bit %d not visible", i)
+		}
+	}
+	if !m.has(255) || m.has(254) {
+		t.Fatal("mask cross-talk")
+	}
+	m.reset()
+	for _, i := range []uint64{0, 63, 64, 255} {
+		if m.has(i) {
+			t.Fatalf("reset left bit %d", i)
+		}
+	}
+}

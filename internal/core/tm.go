@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tinystm/internal/mem"
+	"tinystm/internal/reclaim"
+	"tinystm/internal/txn"
+)
+
+// TM is a TinySTM instance: the shared lock array, the global clock, the
+// hierarchical counters and the bookkeeping needed to freeze the world for
+// clock roll-over and dynamic reconfiguration. A TM protects exactly one
+// mem.Space. All methods are safe for concurrent use.
+type TM struct {
+	space    *mem.Space
+	design   Design
+	maxClock uint64
+	backoff  bool
+	spin     int
+	yieldN   int
+	hier2    uint64
+
+	clk clock
+	geo atomic.Pointer[geometry]
+	fz  freezer
+
+	pool reclaim.Pool
+
+	mu        sync.Mutex // descriptor registry
+	descs     []*Tx
+	rollOvers atomic.Uint64
+	reconfigs atomic.Uint64
+}
+
+// drainThreshold is the limbo size at which commits attempt reclamation.
+const drainThreshold = 128
+
+// minActiveStart returns the oldest snapshot start among active
+// transactions, or the maximum value when none are active.
+func (tm *TM) minActiveStart() uint64 {
+	tm.mu.Lock()
+	descs := tm.descs
+	tm.mu.Unlock()
+	min := ^uint64(0)
+	for _, tx := range descs {
+		if e := tx.startEpoch.Load(); e != 0 && e-1 < min {
+			min = e - 1
+		}
+	}
+	return min
+}
+
+// maybeDrainLimbo reclaims retired blocks whose freeing commit precedes
+// every active snapshot.
+func (tm *TM) maybeDrainLimbo() {
+	if tm.pool.Len() < drainThreshold {
+		return
+	}
+	for _, b := range tm.pool.Drain(tm.minActiveStart()) {
+		tm.space.Free(mem.Addr(b.Addr), b.Words)
+	}
+}
+
+// drainLimboAll reclaims every retired block. Only callable while frozen.
+func (tm *TM) drainLimboAll() {
+	for _, b := range tm.pool.DrainAll() {
+		tm.space.Free(mem.Addr(b.Addr), b.Words)
+	}
+}
+
+// New creates a TM over cfg.Space with the given parameters.
+func New(cfg Config) (*TM, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tm := &TM{
+		space:    cfg.Space,
+		design:   cfg.Design,
+		maxClock: cfg.MaxClock,
+		backoff:  cfg.BackoffOnAbort,
+		spin:     cfg.ConflictSpin,
+		yieldN:   cfg.YieldEvery,
+		hier2:    cfg.Hier2,
+	}
+	tm.fz.init()
+	tm.geo.Store(newGeometry(Params{Locks: cfg.Locks, Shifts: cfg.Shifts, Hier: cfg.Hier}, cfg.Hier2))
+	return tm, nil
+}
+
+// MustNew is New that panics on configuration errors; convenient in
+// examples and tests where the configuration is a literal.
+func MustNew(cfg Config) *TM {
+	tm, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tm
+}
+
+// Space returns the memory arena this TM protects.
+func (tm *TM) Space() *mem.Space { return tm.space }
+
+// Design returns the memory-access strategy of this TM.
+func (tm *TM) Design() Design { return tm.design }
+
+// Params returns the current tunable triple (#locks, #shifts, h).
+func (tm *TM) Params() Params { return tm.geo.Load().params() }
+
+// ClockValue returns the current global clock (diagnostics and tests).
+func (tm *TM) ClockValue() uint64 { return tm.clk.now() }
+
+// NewTx registers and returns a fresh transaction descriptor. Descriptors
+// are affine to one goroutine at a time and are reused across
+// transactions.
+func (tm *TM) NewTx() *Tx {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	if len(tm.descs) >= maxSlots {
+		panic(fmt.Sprintf("core: more than %d transaction descriptors", maxSlots))
+	}
+	tx := &Tx{tm: tm, slot: len(tm.descs), rng: 0x9e3779b97f4a7c15 ^ uint64(len(tm.descs)+1)}
+	tm.descs = append(tm.descs, tx)
+	return tx
+}
+
+// Atomic runs fn as an update-capable transaction, retrying on conflict
+// until it commits. Panics from fn other than the STM's internal abort
+// signal propagate to the caller after the transaction rolls back.
+func (tm *TM) Atomic(tx *Tx, fn func(*Tx)) {
+	tm.atomic(tx, fn, false)
+}
+
+// AtomicRO runs fn as a read-only transaction: no read set is maintained
+// and the snapshot is never extended (paper Section 3.1: "read-only
+// transactions are particularly efficient"). If fn writes, the attempt
+// restarts transparently in update mode.
+func (tm *TM) AtomicRO(tx *Tx, fn func(*Tx)) {
+	tm.atomic(tx, fn, true)
+}
+
+func (tm *TM) atomic(tx *Tx, fn func(*Tx), ro bool) {
+	if tx.tm != tm {
+		panic("core: descriptor belongs to a different TM")
+	}
+	if tx.inTx {
+		// Flat nesting: an inner atomic block merges into the enclosing
+		// transaction (TinySTM's nesting model).
+		fn(tx)
+		return
+	}
+	tx.attempts = 0
+	tx.upgr = false
+	for {
+		tx.attempts++
+		tx.maybeRollOverOnBegin()
+		tx.Begin(ro && !tx.upgr)
+		if tx.runBody(fn) && tx.Commit() {
+			return
+		}
+		if tm.backoff {
+			tx.backoffWait()
+		}
+	}
+}
+
+// runBody executes fn, converting the abort sentinel into a false return.
+// The transaction is already rolled back when the sentinel unwinds.
+func (tx *Tx) runBody(fn func(*Tx)) (ok bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, is := r.(abortSignal); is {
+			ok = false
+			return
+		}
+		// Foreign panic: roll back cleanly, then propagate.
+		if tx.inTx {
+			tx.rollback(txn.AbortExplicit)
+		}
+		panic(r)
+	}()
+	fn(tx)
+	return true
+}
+
+// rollOver resets the clock and all version numbers behind the freeze
+// barrier (paper Section 3.1, "Clock Management"). Safe to call from
+// multiple racing initiators: the reset is double-checked under the
+// barrier.
+func (tm *TM) rollOver() {
+	tm.fz.freeze()
+	// Double-check under the barrier: another initiator may have already
+	// reset the clock while we waited.
+	if tm.clk.now() >= tm.maxClock-1 {
+		tm.drainLimboAll() // old-epoch timestamps become meaningless
+		tm.clk.reset()
+		tm.geo.Load().resetVersions()
+		tm.rollOvers.Add(1)
+	}
+	tm.fz.unfreeze()
+}
+
+// maybeRollOverOnBegin performs clock roll-over before starting a new
+// attempt if the clock is exhausted (transactions also detect this at
+// commit time; checking at begin keeps tiny MaxClock configurations live).
+func (tx *Tx) maybeRollOverOnBegin() {
+	if tx.tm.clk.now() >= tx.tm.maxClock-1 {
+		tx.tm.rollOver()
+	}
+}
+
+// backoffWait performs bounded randomized exponential backoff using the
+// descriptor's private xorshift state. Only active with
+// Config.BackoffOnAbort.
+func (tx *Tx) backoffWait() {
+	shift := tx.attempts
+	if shift > 16 {
+		shift = 16
+	}
+	tx.rng ^= tx.rng << 13
+	tx.rng ^= tx.rng >> 7
+	tx.rng ^= tx.rng << 17
+	spins := tx.rng % (uint64(1) << shift)
+	for i := uint64(0); i < spins; i++ {
+		// Busy wait; on a single-CPU host the scheduler preempts us.
+		_ = i
+	}
+}
+
+// Reconfigure atomically replaces the tunable parameters (#locks, #shifts,
+// h) of a live TM (paper Section 4.2). It freezes the world with the
+// roll-over barrier, swaps in a fresh zeroed lock array, resets the clock
+// (all versions restart from zero), and resumes. In-flight transactions
+// abort and retry under the new geometry.
+func (tm *TM) Reconfigure(p Params) error {
+	hier2 := tm.hier2
+	if hier2 > p.Hier {
+		// The static second level cannot exceed the (tunable) first
+		// level; clamp rather than reject so the tuner may shrink h
+		// freely.
+		hier2 = p.Hier
+	}
+	if err := (Config{Space: tm.space, Locks: p.Locks, Shifts: p.Shifts,
+		Hier: p.Hier, Hier2: hier2, Design: tm.design,
+		MaxClock: tm.maxClock}).validate(); err != nil {
+		return err
+	}
+	tm.fz.freeze()
+	tm.drainLimboAll()
+	tm.geo.Store(newGeometry(p, hier2))
+	tm.clk.reset()
+	tm.reconfigs.Add(1)
+	tm.fz.unfreeze()
+	return nil
+}
+
+// Stats sums commit/abort/validation counters across all descriptors.
+func (tm *TM) Stats() txn.Stats {
+	var s txn.Stats
+	tm.mu.Lock()
+	descs := tm.descs
+	tm.mu.Unlock()
+	for _, tx := range descs {
+		tx.stats.snapshotInto(&s)
+	}
+	s.RollOvers = tm.rollOvers.Load()
+	s.Reconfigs = tm.reconfigs.Load()
+	return s
+}
+
+// Frozen reports whether the TM is currently at a barrier (tests).
+func (tm *TM) Frozen() bool { return tm.fz.isFrozen() }
+
+// Compile-time checks: *Tx satisfies the shared transaction interface and
+// *TM the system interface used by the generic harness.
+var (
+	_ txn.Tx          = (*Tx)(nil)
+	_ txn.System[*Tx] = (*TM)(nil)
+)

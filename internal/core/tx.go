@@ -1,0 +1,715 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"tinystm/internal/mem"
+	"tinystm/internal/txn"
+)
+
+// abortSignal is the private panic sentinel that unwinds an aborted
+// transaction back to the Atomic retry loop. It never escapes the package.
+type abortSignal struct{}
+
+// wsetEntry is one write-back write-set record. Entries covered by the
+// same lock are chained through next, and the lock word points at the
+// chain head, giving O(1) read-after-write (paper Section 3.1: "the
+// address stored in the owned lock allows a transaction to quickly locate
+// in its write set the updated memory locations covered by the lock").
+type wsetEntry struct {
+	addr     mem.Addr
+	value    uint64
+	lockIdx  uint64
+	prevLock uint64 // unlocked word to restore on abort (chain heads only)
+	next     int32  // index of next entry under the same lock; -1 ends
+}
+
+// lockRec is one write-through owned-lock record: which lock we hold and
+// the unlocked word it carried before acquisition.
+type lockRec struct {
+	lockIdx  uint64
+	prevLock uint64
+}
+
+// undoEntry is one write-through undo-log record.
+type undoEntry struct {
+	addr mem.Addr
+	old  uint64
+}
+
+// rsetEntry is one read-set record: the lock covering the read address and
+// the version observed. Read sets are partitioned into h parts, one per
+// hierarchical counter (Section 3.2).
+type rsetEntry struct {
+	lockIdx uint64
+	version uint64
+}
+
+// allocRec tracks transactional memory management (Section 3.1, "Memory
+// Management"): allocations are released on abort; frees take effect only
+// at commit.
+type allocRec struct {
+	addr  mem.Addr
+	words int
+}
+
+// Tx is a transaction descriptor. A descriptor belongs to one worker
+// goroutine and is reused across transactions; it must not be shared.
+//
+// Typical use goes through TM.Atomic, which retries until commit. The
+// low-level Begin/Load/Store/Commit API is exported for tests and for
+// callers that need manual control over interleavings.
+type Tx struct {
+	tm   *TM
+	slot int
+
+	geo    *geometry
+	design Design
+	inTx   bool
+	ro     bool // read-only attempt: no read set, abort instead of extend
+	upgr   bool // read-only attempt wrote; retry as update
+
+	// verShift is a hot-path cache set at Begin: it avoids a per-load
+	// branch on the design (write-back versions sit at bit 1,
+	// write-through at bit 4 past the incarnation field).
+	verShift uint
+
+	// Cooperative-yield state (Config.YieldEvery): simulates multi-core
+	// interleaving on few-core hosts.
+	yieldEvery int
+	opCount    int
+
+	start uint64 // snapshot validity range [start, end]
+	end   uint64
+
+	// Write-back state.
+	wset []wsetEntry
+
+	// Write-through state.
+	owned []lockRec
+	undo  []undoEntry
+
+	// Read set, partitioned by hierarchical bucket (one part when h==1).
+	rparts  [][]rsetEntry
+	nparts  int
+	rmask   mask256
+	hsnap   [MaxHier]uint64 // hierarchical counter values at first access
+	hacq    [MaxHier]uint32 // own lock acquisitions per bucket
+	hactive []uint8         // buckets touched this attempt (for reset)
+
+	// Second hierarchy level (Config.Hier2).
+	rmask2 mask256
+	hsnap2 [MaxHier]uint64
+	hacq2  [MaxHier]uint32
+
+	allocs []allocRec
+	frees  []allocRec
+
+	attempts int // retries of the current atomic block (for backoff)
+	rng      uint64
+
+	// startEpoch publishes start+1 while the transaction is active (zero
+	// when idle); the reclaimer scans it to find the oldest snapshot any
+	// live transaction may hold.
+	startEpoch atomic.Uint64
+
+	// lastCommitTS records the commit timestamp of the descriptor's most
+	// recent update commit (zero for read-only commits). Serialization
+	// order of update transactions is exactly timestamp order, which the
+	// serializability tests exploit.
+	lastCommitTS uint64
+
+	stats txStats
+}
+
+// mask256 is a 256-bit mask for the read/write masks of Section 3.2.
+type mask256 [4]uint64
+
+func (m *mask256) set(i uint64)      { m[i>>6] |= 1 << (i & 63) }
+func (m *mask256) has(i uint64) bool { return m[i>>6]&(1<<(i&63)) != 0 }
+func (m *mask256) reset()            { *m = mask256{} }
+
+// Begin starts a transaction attempt on this descriptor. Most callers use
+// TM.Atomic instead. readOnly selects the no-read-set fast path.
+func (tx *Tx) Begin(readOnly bool) {
+	if tx.inTx {
+		panic("core: Begin on descriptor already in a transaction")
+	}
+	tx.tm.fz.enter()
+	// Reset the per-bucket acquisition counts of the previous attempt
+	// using the geometry that recorded them (a Reconfigure may swap the
+	// bucket mapping between attempts).
+	if old := tx.geo; old != nil {
+		for _, b := range tx.hactive {
+			tx.hacq[b] = 0
+			if old.hier2Enabled() {
+				tx.hacq2[old.hier2Index(uint64(b))] = 0
+			}
+		}
+	}
+	tx.geo = tx.tm.geo.Load()
+	tx.design = tx.tm.design
+	tx.verShift = 1
+	if tx.design == WriteThrough {
+		tx.verShift = 1 + incBits
+	}
+	tx.yieldEvery = tx.tm.yieldN
+	tx.inTx = true
+	tx.ro = readOnly
+	tx.start = tx.tm.clk.now()
+	tx.end = tx.start
+	tx.startEpoch.Store(tx.start + 1)
+
+	// Size the partitioned read set to the current h, reusing capacity.
+	h := 1
+	if tx.geo.hierEnabled() {
+		h = int(tx.geo.hierMask + 1)
+	}
+	if tx.nparts != h {
+		if cap(tx.rparts) < h {
+			tx.rparts = make([][]rsetEntry, h)
+		}
+		tx.rparts = tx.rparts[:h]
+		tx.nparts = h
+	}
+	for i := range tx.rparts {
+		tx.rparts[i] = tx.rparts[i][:0]
+	}
+	tx.wset = tx.wset[:0]
+	tx.owned = tx.owned[:0]
+	tx.undo = tx.undo[:0]
+	tx.allocs = tx.allocs[:0]
+	tx.frees = tx.frees[:0]
+	tx.rmask.reset()
+	tx.rmask2.reset()
+	tx.hactive = tx.hactive[:0]
+	if h == 1 {
+		// Hierarchy disabled: everything lives in partition 0 and the
+		// per-access bucket bookkeeping is skipped entirely.
+		tx.hactive = append(tx.hactive, 0)
+	}
+}
+
+// InTx reports whether the descriptor is inside an active transaction.
+func (tx *Tx) InTx() bool { return tx.inTx }
+
+// ReadOnly reports whether the current attempt runs in read-only mode.
+func (tx *Tx) ReadOnly() bool { return tx.ro }
+
+// Snapshot returns the current validity range [start, end] (for tests).
+func (tx *Tx) Snapshot() (start, end uint64) { return tx.start, tx.end }
+
+// abort rolls back the current attempt, classifies it, leaves the
+// transaction, and unwinds to the retry loop via the abort sentinel.
+func (tx *Tx) abort(kind txn.AbortKind) {
+	tx.rollback(kind)
+	panic(abortSignal{})
+}
+
+// rollback releases all transactional state without panicking; used both
+// by abort and by commit-time validation failure.
+func (tx *Tx) rollback(kind txn.AbortKind) {
+	if !tx.inTx {
+		panic("core: rollback outside transaction")
+	}
+	if tx.design == WriteThrough {
+		// Restore memory newest-first so earlier values win.
+		for i := len(tx.undo) - 1; i >= 0; i-- {
+			u := tx.undo[i]
+			tx.tm.space.Store(u.addr, u.old)
+		}
+		// Release locks with incremented incarnation so concurrent
+		// readers between their two lock reads detect our interference
+		// (Section 3.1's subtle write-through problem).
+		for _, rec := range tx.owned {
+			tx.releaseWTAborted(rec)
+		}
+	} else {
+		// Write-back: nothing reached memory; restore lock words of
+		// chain heads.
+		for i := range tx.wset {
+			e := &tx.wset[i]
+			lw := tx.geo.loadLock(e.lockIdx)
+			if isOwned(lw) && ownerSlot(lw) == tx.slot && ownerEntry(lw) == i {
+				tx.geo.storeLock(e.lockIdx, e.prevLock)
+			}
+		}
+	}
+	// Release memory allocated by the failed transaction.
+	for _, a := range tx.allocs {
+		tx.tm.space.Free(a.addr, a.words)
+	}
+	tx.stats.aborts.Add(1)
+	tx.stats.abortsByKind[kind].Add(1)
+	tx.inTx = false
+	tx.startEpoch.Store(0)
+	tx.tm.fz.exit()
+}
+
+// releaseWTAborted releases one write-through lock after an abort,
+// bumping the incarnation number; on overflow it takes a fresh version
+// from the global clock (paper Section 3.1).
+func (tx *Tx) releaseWTAborted(rec lockRec) {
+	prev := rec.prevLock
+	inc := incarnationWT(prev) + 1
+	if inc > incMask {
+		ver := tx.tm.clk.fetchInc()
+		if ver >= tx.tm.maxClock {
+			// The fresh version itself overflowed; the next transaction
+			// to start or commit performs roll-over. Clamp so the word
+			// stays representable.
+			ver = tx.tm.maxClock
+		}
+		tx.geo.storeLock(rec.lockIdx, mkVersionWT(ver, 0))
+		return
+	}
+	tx.geo.storeLock(rec.lockIdx, mkVersionWT(versionWT(prev), inc))
+}
+
+// Load returns the word at addr within the transaction's snapshot.
+//
+// The fast path — unlocked stripe, stable lock word, version inside the
+// snapshot — is laid out branch-first; everything else (owned locks,
+// racing writers, snapshot extension) lives in loadSlow. There is no
+// freeze check on this path: a freeze initiator (clock roll-over or
+// Reconfigure) parks new transactions at Begin and waits for in-flight
+// ones to finish naturally, so per-operation checks would only shorten
+// the initiator's wait at a cost on every access.
+func (tx *Tx) Load(addr uint64) uint64 {
+	if !tx.inTx {
+		panic("core: Load outside transaction")
+	}
+	if tx.yieldEvery != 0 {
+		tx.opCount++
+		if tx.opCount >= tx.yieldEvery {
+			tx.opCount = 0
+			runtime.Gosched()
+		}
+	}
+	a := mem.Addr(addr)
+	g := tx.geo
+	li := g.lockIndex(addr)
+
+	lw := g.loadLock(li)
+	if !isOwned(lw) {
+		val := tx.tm.space.Load(a)
+		if g.loadLock(li) == lw {
+			if ver := lw >> tx.verShift; ver <= tx.end {
+				tx.recordRead(addr, li, ver)
+				return val
+			}
+		}
+	}
+	return tx.loadSlow(a, li)
+}
+
+// recordRead appends one read-set entry (no-op for read-only attempts).
+func (tx *Tx) recordRead(addr uint64, li uint64, ver uint64) {
+	if tx.ro {
+		return
+	}
+	b := uint64(0)
+	if tx.geo.hierEnabled() {
+		b = tx.hierRecordRead(addr)
+	}
+	tx.rparts[b] = append(tx.rparts[b], rsetEntry{lockIdx: li, version: ver})
+}
+
+// loadSlow handles the uncommon read cases: a lock owned by this or
+// another transaction, a lock word that changed under the read, or a
+// version beyond the snapshot (triggering LSA extension).
+func (tx *Tx) loadSlow(a mem.Addr, li uint64) uint64 {
+	g := tx.geo
+	var val, ver uint64
+restart:
+	for {
+		lw := g.loadLock(li)
+		if isOwned(lw) {
+			if ownerSlot(lw) != tx.slot {
+				// Conflict with another transaction's encounter-time
+				// lock. The paper notes a transaction "can try to wait
+				// for some time or abort immediately. We use the latter
+				// option" — immediate abort is the default; with
+				// ConflictSpin configured we wait boundedly first.
+				if tx.spinUnlocked(li) {
+					continue restart
+				}
+				tx.abort(txn.AbortReadConflict)
+			}
+			return tx.loadOwn(a, lw)
+		}
+
+		// Unlocked: lock — value — lock, with the whole word compared so
+		// a write-through abort (incarnation bump) in between is
+		// detected.
+		for {
+			val = tx.tm.space.Load(a)
+			lw2 := g.loadLock(li)
+			if lw2 == lw {
+				break
+			}
+			if isOwned(lw2) {
+				tx.abort(txn.AbortReadConflict)
+			}
+			lw = lw2
+		}
+
+		ver = lw >> tx.verShift
+		if ver <= tx.end {
+			break
+		}
+		// The location changed after our snapshot; try to extend (LSA),
+		// which read-only transactions cannot do without a read set,
+		// then re-read the value under the extended snapshot.
+		if !tx.extend() {
+			tx.abort(txn.AbortExtend)
+		}
+		continue restart
+	}
+
+	tx.recordRead(uint64(a), li, ver)
+	return val
+}
+
+// loadOwn serves a read of a location whose lock this transaction owns.
+func (tx *Tx) loadOwn(a mem.Addr, lw uint64) uint64 {
+	if tx.design == WriteThrough {
+		// Memory always holds our latest value.
+		return tx.tm.space.Load(a)
+	}
+	// Write-back: walk the per-lock chain for our pending value; a miss
+	// means the address shares the lock but was never written, so the
+	// (committed) memory value is correct and stable while we hold the
+	// lock.
+	for i := int32(ownerEntry(lw)); i >= 0; i = tx.wset[i].next {
+		if tx.wset[i].addr == a {
+			return tx.wset[i].value
+		}
+	}
+	return tx.tm.space.Load(a)
+}
+
+// Store writes the word at addr within the transaction.
+func (tx *Tx) Store(addr uint64, v uint64) {
+	tx.store(addr, v, false)
+}
+
+func (tx *Tx) store(addr uint64, v uint64, lockOnly bool) {
+	if !tx.inTx {
+		panic("core: Store outside transaction")
+	}
+	if tx.ro {
+		// Read-only attempts restart in update mode.
+		tx.upgr = true
+		tx.abort(txn.AbortUpgrade)
+	}
+	a := mem.Addr(addr)
+	g := tx.geo
+	li := g.lockIndex(addr)
+
+	for {
+		lw := g.loadLock(li)
+		if isOwned(lw) {
+			if ownerSlot(lw) != tx.slot {
+				if tx.spinUnlocked(li) {
+					continue
+				}
+				tx.abort(txn.AbortWriteConflict)
+			}
+			tx.storeOwned(a, v, li, lw, lockOnly)
+			return
+		}
+		// Check the version before acquiring: if the location was
+		// updated past our snapshot, extend first (otherwise commit
+		// validation would abort us anyway — detecting early is the
+		// encounter-time philosophy), then restart the acquisition.
+		if ver := lw >> tx.verShift; ver > tx.end {
+			if !tx.extend() {
+				tx.abort(txn.AbortExtend)
+			}
+			continue
+		}
+		if tx.acquire(a, v, li, lw, lockOnly) {
+			return
+		}
+		// CAS failed: another transaction grabbed the lock meanwhile;
+		// re-read and either conflict or retry (paper: "the whole
+		// procedure is restarted").
+	}
+}
+
+// acquire attempts to take the lock at li (currently reading lw) and
+// record the write. Returns false if the CAS lost a race.
+func (tx *Tx) acquire(a mem.Addr, v uint64, li uint64, lw uint64, lockOnly bool) bool {
+	if tx.geo.hierEnabled() {
+		tx.hierRecordWrite(uint64(a))
+	}
+	if tx.design == WriteThrough {
+		idx := len(tx.owned)
+		if !tx.geo.casLock(li, lw, mkOwned(tx.slot, idx)) {
+			return false
+		}
+		tx.owned = append(tx.owned, lockRec{lockIdx: li, prevLock: lw})
+		old := tx.tm.space.Load(a)
+		tx.undo = append(tx.undo, undoEntry{addr: a, old: old})
+		if !lockOnly {
+			tx.tm.space.Store(a, v)
+		}
+		return true
+	}
+	// Write-back: the new chain head is the entry we are about to add.
+	idx := len(tx.wset)
+	if !tx.geo.casLock(li, lw, mkOwned(tx.slot, idx)) {
+		return false
+	}
+	val := v
+	if lockOnly {
+		val = tx.tm.space.Load(a) // keep the committed value
+	}
+	tx.wset = append(tx.wset, wsetEntry{
+		addr: a, value: val, lockIdx: li, prevLock: lw, next: -1,
+	})
+	return true
+}
+
+// storeOwned handles a write to a location whose covering lock we already
+// hold.
+func (tx *Tx) storeOwned(a mem.Addr, v uint64, li uint64, lw uint64, lockOnly bool) {
+	if tx.design == WriteThrough {
+		old := tx.tm.space.Load(a)
+		tx.undo = append(tx.undo, undoEntry{addr: a, old: old})
+		if !lockOnly {
+			tx.tm.space.Store(a, v)
+		}
+		return
+	}
+	head := int32(ownerEntry(lw))
+	for i := head; i >= 0; i = tx.wset[i].next {
+		if tx.wset[i].addr == a {
+			if !lockOnly {
+				tx.wset[i].value = v
+			}
+			return
+		}
+	}
+	// New address under an already-owned lock: prepend as new chain
+	// head, carrying the restore word, and repoint the lock.
+	val := v
+	if lockOnly {
+		val = tx.tm.space.Load(a)
+	}
+	idx := len(tx.wset)
+	tx.wset = append(tx.wset, wsetEntry{
+		addr: a, value: val, lockIdx: li,
+		prevLock: tx.wset[head].prevLock, next: head,
+	})
+	tx.geo.storeLock(li, mkOwned(tx.slot, idx))
+}
+
+// spinUnlocked optionally waits — boundedly, to avoid deadlock — for a
+// foreign lock to be released. Returns true once the lock was observed
+// free; false when the spin budget (Config.ConflictSpin) is exhausted or
+// spinning is disabled.
+func (tx *Tx) spinUnlocked(li uint64) bool {
+	g := tx.geo
+	for i := 0; i < tx.tm.spin; i++ {
+		if i&15 == 15 {
+			// Let the lock owner run; essential on few-core hosts.
+			runtime.Gosched()
+		}
+		if !isOwned(g.loadLock(li)) {
+			return true
+		}
+	}
+	return false
+}
+
+// extend tries to grow the snapshot's validity range to the current clock
+// (LSA snapshot extension): every read must still be valid. Read-only
+// transactions have no read set and therefore cannot extend.
+func (tx *Tx) extend() bool {
+	if tx.ro {
+		return false
+	}
+	now := tx.tm.clk.now()
+	if !tx.validate() {
+		return false
+	}
+	tx.end = now
+	tx.stats.extensions.Add(1)
+	return true
+}
+
+// validate checks that every read-set entry is still valid: unlocked with
+// the observed version, or locked by this very transaction with the
+// observed pre-acquisition version. Hierarchical buckets whose counter
+// proves the absence of competing writers are skipped wholesale (the fast
+// path of Section 3.2); with a second level enabled, a clean coarse
+// counter skips its whole group of buckets.
+func (tx *Tx) validate() bool {
+	g := tx.geo
+	var checked, skipped uint64
+	ok := true
+	hier := g.hierEnabled()
+	hier2 := g.hier2Enabled()
+scan:
+	for _, bb := range tx.hactive {
+		b := uint64(bb)
+		part := tx.rparts[b]
+		if len(part) == 0 {
+			continue
+		}
+		if hier {
+			if hier2 {
+				b2 := g.hier2Index(b)
+				if g.hier2[b2].v.Load() == tx.hsnap2[b2]+uint64(tx.hacq2[b2]) {
+					// No foreign acquisition anywhere in this coarse
+					// group since we recorded it.
+					skipped += uint64(len(part))
+					continue
+				}
+			}
+			if g.hier[b].v.Load() == tx.hsnap[b]+uint64(tx.hacq[b]) {
+				// No foreign writer touched this bucket since we
+				// recorded it: skip per-entry validation.
+				skipped += uint64(len(part))
+				continue
+			}
+		}
+		for _, e := range part {
+			checked++
+			lw := g.loadLock(e.lockIdx)
+			if isOwned(lw) {
+				if ownerSlot(lw) != tx.slot {
+					ok = false
+					break scan
+				}
+				if tx.prevVersionOfOwned(lw) != e.version {
+					ok = false
+					break scan
+				}
+			} else if lw>>tx.verShift != e.version {
+				ok = false
+				break scan
+			}
+		}
+	}
+	tx.stats.locksValidated.Add(checked)
+	tx.stats.locksSkipped.Add(skipped)
+	return ok
+}
+
+// prevVersionOfOwned returns the version a lock we own carried before we
+// acquired it, recovered via the entry index packed in the lock word.
+func (tx *Tx) prevVersionOfOwned(lw uint64) uint64 {
+	idx := ownerEntry(lw)
+	if tx.design == WriteThrough {
+		return versionWT(tx.owned[idx].prevLock)
+	}
+	return versionWB(tx.wset[idx].prevLock)
+}
+
+// isUpdate reports whether the attempt wrote anything (locks held).
+func (tx *Tx) isUpdate() bool {
+	return len(tx.wset) > 0 || len(tx.owned) > 0
+}
+
+// Commit attempts to commit the transaction. It returns false (with the
+// transaction rolled back) if validation failed; callers then retry.
+func (tx *Tx) Commit() bool {
+	if !tx.inTx {
+		panic("core: Commit outside transaction")
+	}
+	if !tx.isUpdate() {
+		// Read-only commit: the incrementally-validated snapshot is
+		// consistent by construction; nothing to validate or publish.
+		tx.lastCommitTS = 0
+		tx.finishCommit()
+		return true
+	}
+
+	ts := tx.tm.clk.fetchInc()
+	if ts >= tx.tm.maxClock {
+		// Clock exhausted: abort, then perform roll-over at the barrier.
+		tx.rollback(txn.AbortFrozen)
+		tx.tm.rollOver()
+		return false
+	}
+
+	// If ts == start+1 no transaction committed since our snapshot
+	// began, so the read set cannot have changed (paper Section 3.2's
+	// "notable exception").
+	if ts != tx.start+1 {
+		if !tx.validate() {
+			tx.rollback(txn.AbortValidate)
+			return false
+		}
+	}
+
+	// Point of no return: publish values and release locks at version ts.
+	g := tx.geo
+	if tx.design == WriteBack {
+		for i := range tx.wset {
+			e := &tx.wset[i]
+			tx.tm.space.Store(e.addr, e.value)
+		}
+		newLW := mkVersionWB(ts)
+		for i := range tx.wset {
+			e := &tx.wset[i]
+			lw := g.loadLock(e.lockIdx)
+			if isOwned(lw) && ownerSlot(lw) == tx.slot && ownerEntry(lw) == i {
+				g.storeLock(e.lockIdx, newLW)
+			}
+		}
+	} else {
+		newLW := mkVersionWT(ts, 0)
+		for _, rec := range tx.owned {
+			g.storeLock(rec.lockIdx, newLW)
+		}
+	}
+
+	// Apply deferred frees now that the transaction is durable. Blocks
+	// are retired rather than freed outright: doomed transactions that
+	// started before ts may still dereference them (see package reclaim).
+	for _, f := range tx.frees {
+		tx.tm.pool.Retire(uint64(f.addr), f.words, ts)
+	}
+	tx.lastCommitTS = ts
+	tx.finishCommit()
+	if len(tx.frees) > 0 {
+		tx.tm.maybeDrainLimbo()
+	}
+	return true
+}
+
+func (tx *Tx) finishCommit() {
+	tx.stats.commits.Add(1)
+	tx.inTx = false
+	tx.startEpoch.Store(0)
+	tx.tm.fz.exit()
+}
+
+// Retry aborts the current attempt explicitly; TM.Atomic will re-run the
+// block. Useful for optimistic condition waiting.
+func (tx *Tx) Retry() {
+	if !tx.inTx {
+		panic("core: Retry outside transaction")
+	}
+	tx.abort(txn.AbortExplicit)
+}
+
+// Slot returns the descriptor's slot index (diagnostics).
+func (tx *Tx) Slot() int { return tx.slot }
+
+// LastCommitTS returns the commit timestamp of the descriptor's most
+// recent update commit (zero if it was read-only). Update transactions
+// serialize in timestamp order.
+func (tx *Tx) LastCommitTS() uint64 { return tx.lastCommitTS }
+
+// TxStats returns this descriptor's counters as a snapshot.
+func (tx *Tx) TxStats() txn.Stats {
+	var s txn.Stats
+	tx.stats.snapshotInto(&s)
+	return s
+}

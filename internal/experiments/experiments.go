@@ -1,0 +1,200 @@
+// Package experiments reproduces every figure of the paper's evaluation:
+// one runner per figure, shared by the command-line tools (cmd/stmbench,
+// cmd/sweep, cmd/tune, cmd/vacation) and the root bench_test.go harness.
+//
+// Each runner builds fresh STM instances per measured point (so points are
+// independent), runs the paper's workload mix, and returns structured
+// results plus a rendered table with the same rows/series the paper plots.
+// Scale factors the experiment sizes so the full paper-scale runs and the
+// fast CI-scale runs share all code paths.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"tinystm/internal/core"
+	"tinystm/internal/harness"
+	"tinystm/internal/mem"
+	"tinystm/internal/tl2"
+	"tinystm/internal/vacation"
+)
+
+// Sys identifies the STM variants the paper compares. The paper's 32-bit
+// builds exist because the TL2 x86 port only compiled in 32-bit mode; this
+// repository reproduces the 64-bit series.
+type Sys int
+
+// The three systems of Figures 2-5.
+const (
+	TinySTMWB Sys = iota
+	TinySTMWT
+	TL2
+)
+
+// String names the series as the paper's legends do.
+func (s Sys) String() string {
+	switch s {
+	case TinySTMWB:
+		return "TinySTM-WB"
+	case TinySTMWT:
+		return "TinySTM-WT"
+	case TL2:
+		return "TL2"
+	default:
+		return fmt.Sprintf("Sys(%d)", int(s))
+	}
+}
+
+// AllSystems lists the series plotted in Figures 2-5.
+var AllSystems = []Sys{TinySTMWB, TinySTMWT, TL2}
+
+// Scale sets the measurement effort. The paper measures seconds-long runs
+// on an 8-core Xeon; tests use milliseconds-long runs. The shapes survive
+// scaling; absolute numbers do not (documented in EXPERIMENTS.md).
+type Scale struct {
+	Duration time.Duration
+	Warmup   time.Duration
+	Threads  []int
+	Seed     uint64
+	// SpaceWords sizes the transactional arena per point.
+	SpaceWords int
+	// YieldEvery simulates the paper's 8-core interleaving on few-core
+	// hosts by yielding after every N transactional loads in both STMs
+	// (see core.Config.YieldEvery). Zero disables the simulation: on a
+	// single CPU, transactions then mostly run within one scheduler
+	// slice and conflicts almost never materialize.
+	YieldEvery int
+	// Repeats measures each point this many times and keeps the maximum
+	// throughput — the smoothing Section 4.3 applies to its tuning
+	// measurements, applied here to every figure. Zero or one means a
+	// single measurement.
+	Repeats int
+}
+
+// PaperScale approximates the paper's measurement effort.
+func PaperScale() Scale {
+	return Scale{
+		Duration:   time.Second,
+		Warmup:     200 * time.Millisecond,
+		Threads:    []int{1, 2, 4, 6, 8},
+		Seed:       42,
+		SpaceWords: 1 << 23,
+	}
+}
+
+// QuickScale runs every code path in milliseconds (tests, smoke runs).
+func QuickScale() Scale {
+	return Scale{
+		Duration:   25 * time.Millisecond,
+		Warmup:     5 * time.Millisecond,
+		Threads:    []int{1, 2},
+		Seed:       42,
+		SpaceWords: 1 << 20,
+	}
+}
+
+// ContendedScale is PaperScale with the multi-core interleaving
+// simulation enabled; use it on few-core hosts to reproduce the
+// conflict-driven figures (abort rates, doomed-traversal effects).
+func ContendedScale() Scale {
+	sc := PaperScale()
+	sc.YieldEvery = 8
+	return sc
+}
+
+// Point is one measured benchmark point.
+type Point struct {
+	Sys        Sys
+	Threads    int
+	Throughput float64 // committed txs per second
+	AbortRate  float64 // aborts per second
+	Result     harness.Result
+}
+
+// defaultGeometry is the fixed lock-array configuration used for the
+// non-sweep figures (the paper's TinySTM default: 2^20 locks, shift 0,
+// hierarchy disabled for the base comparison).
+var defaultGeometry = core.Params{Locks: 1 << 20, Shifts: 0, Hier: 1}
+
+// newCoreTM builds a TinySTM instance for one measured point.
+func newCoreTM(sc Scale, d core.Design, p core.Params) *core.TM {
+	sp := mem.NewSpace(sc.SpaceWords)
+	return core.MustNew(core.Config{
+		Space: sp, Locks: p.Locks, Shifts: p.Shifts, Hier: p.Hier, Design: d,
+		YieldEvery: sc.YieldEvery,
+	})
+}
+
+// newTL2TM builds a TL2 instance for one measured point.
+func newTL2TM(sc Scale, p core.Params) *tl2.TM {
+	sp := mem.NewSpace(sc.SpaceWords)
+	return tl2.MustNew(tl2.Config{
+		Space: sp, Locks: p.Locks, Shifts: p.Shifts, YieldEvery: sc.YieldEvery,
+	})
+}
+
+// repeatMax runs measure sc.Repeats times and keeps the run with the
+// highest throughput (Section 4.3's max-of-N smoothing).
+func repeatMax(sc Scale, measure func() harness.Result) harness.Result {
+	n := sc.Repeats
+	if n < 1 {
+		n = 1
+	}
+	best := measure()
+	for i := 1; i < n; i++ {
+		if r := measure(); r.Throughput > best.Throughput {
+			best = r
+		}
+	}
+	return best
+}
+
+// RunIntsetPoint measures one (system, geometry, workload, threads) point.
+func RunIntsetPoint(sc Scale, sys Sys, geo core.Params, ip harness.IntsetParams, threads int) Point {
+	var res harness.Result
+	switch sys {
+	case TinySTMWB, TinySTMWT:
+		d := core.WriteBack
+		if sys == TinySTMWT {
+			d = core.WriteThrough
+		}
+		tm := newCoreTM(sc, d, geo)
+		set := harness.BuildIntset[*core.Tx](tm, ip, sc.Seed)
+		bench := harness.Bench[*core.Tx]{
+			Sys: tm, Threads: threads, Duration: sc.Duration, Warmup: sc.Warmup,
+			Seed: sc.Seed, Op: harness.IntsetOp[*core.Tx](tm, set, ip),
+		}
+		res = repeatMax(sc, bench.Run)
+	case TL2:
+		tm := newTL2TM(sc, geo)
+		set := harness.BuildIntset[*tl2.Tx](tm, ip, sc.Seed)
+		bench := harness.Bench[*tl2.Tx]{
+			Sys: tm, Threads: threads, Duration: sc.Duration, Warmup: sc.Warmup,
+			Seed: sc.Seed, Op: harness.IntsetOp[*tl2.Tx](tm, set, ip),
+		}
+		res = repeatMax(sc, bench.Run)
+	default:
+		panic("experiments: unknown system")
+	}
+	return Point{Sys: sys, Threads: threads,
+		Throughput: res.Throughput, AbortRate: res.AbortRate, Result: res}
+}
+
+// RunVacationPoint measures one Vacation point (TinySTM only, as in the
+// paper's Figure 7, which sweeps TinySTM's parameters).
+func RunVacationPoint(sc Scale, d core.Design, geo core.Params, vp vacation.Params, threads int) Point {
+	tm := newCoreTM(sc, d, geo)
+	m := vacation.Setup[*core.Tx](tm, vp, sc.Seed)
+	bench := harness.Bench[*core.Tx]{
+		Sys: tm, Threads: threads, Duration: sc.Duration, Warmup: sc.Warmup,
+		Seed: sc.Seed, Op: vacation.Op[*core.Tx](tm, m),
+	}
+	res := repeatMax(sc, bench.Run)
+	s := TinySTMWB
+	if d == core.WriteThrough {
+		s = TinySTMWT
+	}
+	return Point{Sys: s, Threads: threads,
+		Throughput: res.Throughput, AbortRate: res.AbortRate, Result: res}
+}

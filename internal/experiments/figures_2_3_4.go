@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tinystm/internal/harness"
+)
+
+// ThreadSeries is a throughput-vs-threads experiment result: one row per
+// thread count, one column per system (the layout of Figures 2, 3 and 4).
+type ThreadSeries struct {
+	Title   string
+	Systems []Sys
+	Threads []int
+	// Values[t][s] is the metric for Threads[t] under Systems[s].
+	Values [][]float64
+}
+
+// ToTable renders the series in the paper's layout, values in the paper's
+// unit of 10^3 transactions per second.
+func (r ThreadSeries) ToTable(metric string) harness.Table {
+	tbl := harness.Table{Title: r.Title, Headers: []string{"threads"}}
+	for _, s := range r.Systems {
+		tbl.Headers = append(tbl.Headers, fmt.Sprintf("%v %s (10^3/s)", s, metric))
+	}
+	for i, th := range r.Threads {
+		row := []any{th}
+		for j := range r.Systems {
+			row = append(row, fmt.Sprintf("%.1f", r.Values[i][j]/1000))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl
+}
+
+// runThreadSeries measures an intset workload across thread counts and
+// systems, extracting the metric via sel.
+func runThreadSeries(sc Scale, title string, ip harness.IntsetParams, sel func(Point) float64) ThreadSeries {
+	r := ThreadSeries{Title: title, Systems: AllSystems, Threads: sc.Threads}
+	for _, th := range sc.Threads {
+		row := make([]float64, len(r.Systems))
+		for j, sys := range r.Systems {
+			row[j] = sel(RunIntsetPoint(sc, sys, defaultGeometry, ip, th))
+		}
+		r.Values = append(r.Values, row)
+	}
+	return r
+}
+
+// Figure2 reproduces "Throughput of the red-black tree": one panel per
+// (size, update-rate) pair; the paper shows (256, 20%), (4096, 20%) and
+// (4096, 60%).
+func Figure2(sc Scale, size, updatePct int) ThreadSeries {
+	return runThreadSeries(sc,
+		fmt.Sprintf("Figure 2: red-black tree, %d elements, %d%% updates", size, updatePct),
+		harness.IntsetParams{Kind: harness.KindRBTree, InitialSize: size, UpdatePct: updatePct},
+		func(p Point) float64 { return p.Throughput })
+}
+
+// Figure3 reproduces "Throughput of the linked list": the paper shows
+// (256, 0%), (256, 20%) and (4096, 20%).
+func Figure3(sc Scale, size, updatePct int) ThreadSeries {
+	return runThreadSeries(sc,
+		fmt.Sprintf("Figure 3: linked list, %d elements, %d%% updates", size, updatePct),
+		harness.IntsetParams{Kind: harness.KindList, InitialSize: size, UpdatePct: updatePct},
+		func(p Point) float64 { return p.Throughput })
+}
+
+// Figure4Aborts reproduces the abort-rate panels of Figure 4: red-black
+// tree 4096/20% (left) and linked list 256/20% (center).
+func Figure4Aborts(sc Scale, kind harness.Kind, size, updatePct int) ThreadSeries {
+	return runThreadSeries(sc,
+		fmt.Sprintf("Figure 4: aborts, %v, %d elements, %d%% updates", kind, size, updatePct),
+		harness.IntsetParams{Kind: kind, InitialSize: size, UpdatePct: updatePct},
+		func(p Point) float64 { return p.AbortRate })
+}
+
+// Figure4Overwrite reproduces the right panel of Figure 4: the modified
+// linked list where update transactions overwrite every entry up to a
+// random value ("linked list, 256 elements, 5% overwrites").
+func Figure4Overwrite(sc Scale, size, overwritePct int) ThreadSeries {
+	return runThreadSeries(sc,
+		fmt.Sprintf("Figure 4 (right): linked list, %d elements, %d%% overwrites", size, overwritePct),
+		harness.IntsetParams{Kind: harness.KindList, InitialSize: size, OverwritePct: overwritePct},
+		func(p Point) float64 { return p.Throughput })
+}
+
+// SizeUpdateSurface is the Figure 5 result: throughput at the maximum
+// thread count over (structure size × update rate).
+type SizeUpdateSurface struct {
+	Title   string
+	Systems []Sys
+	Sizes   []int
+	Updates []int
+	// Values[i][j][s]: size i, update rate j, system s.
+	Values [][][]float64
+}
+
+// ToTable flattens the surface into rows (size, update, one column per
+// system).
+func (r SizeUpdateSurface) ToTable() harness.Table {
+	tbl := harness.Table{Title: r.Title, Headers: []string{"size", "update%"}}
+	for _, s := range r.Systems {
+		tbl.Headers = append(tbl.Headers, fmt.Sprintf("%v (10^3/s)", s))
+	}
+	for i, size := range r.Sizes {
+		for j, u := range r.Updates {
+			row := []any{size, u}
+			for s := range r.Systems {
+				row = append(row, fmt.Sprintf("%.1f", r.Values[i][j][s]/1000))
+			}
+			tbl.AddRow(row...)
+		}
+	}
+	return tbl
+}
+
+// Figure5 reproduces "Influence of the size of the data structures and
+// update rates on throughput" (8 threads in the paper; here the maximum
+// of sc.Threads).
+func Figure5(sc Scale, kind harness.Kind, sizes, updates []int) SizeUpdateSurface {
+	threads := sc.Threads[len(sc.Threads)-1]
+	r := SizeUpdateSurface{
+		Title: fmt.Sprintf("Figure 5: %v, %d threads, throughput vs size x update rate",
+			kind, threads),
+		Systems: AllSystems, Sizes: sizes, Updates: updates,
+	}
+	for _, size := range sizes {
+		var perSize [][]float64
+		for _, u := range updates {
+			row := make([]float64, len(r.Systems))
+			for s, sys := range r.Systems {
+				ip := harness.IntsetParams{Kind: kind, InitialSize: size, UpdatePct: u}
+				row[s] = RunIntsetPoint(sc, sys, defaultGeometry, ip, threads).Throughput
+			}
+			perSize = append(perSize, row)
+		}
+		r.Values = append(r.Values, perSize)
+	}
+	return r
+}

@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"time"
+
+	"tinystm/internal/txn"
+)
+
+// Meter measures committed-transaction throughput over successive
+// intervals from an STM's global counters; the dynamic tuner samples it
+// once per tuning period ("we measure the throughput over a period of
+// approximately one second", Section 4.2).
+type Meter struct {
+	stats func() txn.Stats
+	last  txn.Stats
+	lastT time.Time
+	now   func() time.Time
+}
+
+// NewMeter builds a meter over a stats source (typically tm.Stats).
+func NewMeter(stats func() txn.Stats) *Meter {
+	return NewMeterClock(stats, time.Now)
+}
+
+// NewMeterClock injects a clock source; tests use a fake clock to make
+// interval arithmetic deterministic.
+func NewMeterClock(stats func() txn.Stats, now func() time.Time) *Meter {
+	return &Meter{stats: stats, last: stats(), lastT: now(), now: now}
+}
+
+// Sample returns the throughput (commits/second) and raw counter delta
+// since the previous Sample (or since construction).
+func (m *Meter) Sample() (float64, txn.Stats) {
+	cur := m.stats()
+	t := m.now()
+	delta := cur.Sub(m.last)
+	secs := t.Sub(m.lastT).Seconds()
+	m.last, m.lastT = cur, t
+	if secs <= 0 {
+		return 0, delta
+	}
+	return float64(delta.Commits) / secs, delta
+}

@@ -1,0 +1,67 @@
+package harness_test
+
+import (
+	"runtime"
+	"testing"
+
+	"tinystm/internal/core"
+	"tinystm/internal/harness"
+)
+
+func TestWorkersRunUntilStopped(t *testing.T) {
+	tm := newTM(t)
+	tx := tm.NewTx()
+	var a uint64
+	tm.Atomic(tx, func(tx *core.Tx) { a = tx.Alloc(1) })
+
+	ws := harness.StartWorkers[*core.Tx](tm, 3, 7, func(w *harness.Worker, tx *core.Tx) {
+		tm.Atomic(tx, func(tx *core.Tx) { tx.Store(a, tx.Load(a)+1) })
+	})
+	// Wait until some work has demonstrably happened.
+	for tm.Stats().Commits < 100 {
+		runtime.Gosched()
+	}
+	ws.Stop()
+	afterStop := tm.Stats().Commits
+	// No further commits after Stop returns.
+	for i := 0; i < 100; i++ {
+		runtime.Gosched()
+	}
+	if got := tm.Stats().Commits; got != afterStop {
+		t.Errorf("commits advanced after Stop: %d -> %d", afterStop, got)
+	}
+}
+
+func TestWorkersReconfigureWhileRunning(t *testing.T) {
+	// The tuning loop's core interaction: reconfiguring a TM while a
+	// worker pool hammers it must not deadlock or corrupt.
+	tm := newTM(t)
+	set := harness.BuildIntset[*core.Tx](tm, harness.IntsetParams{
+		Kind: harness.KindList, InitialSize: 64, UpdatePct: 50,
+	}, 3)
+	ws := harness.StartWorkers[*core.Tx](tm, 2, 3, harness.IntsetOp[*core.Tx](tm, set,
+		harness.IntsetParams{Kind: harness.KindList, InitialSize: 64, UpdatePct: 50}))
+	for i := 0; i < 10; i++ {
+		p := core.Params{Locks: 1 << uint(8+i%4), Shifts: uint(i % 3), Hier: 1 << uint(i%3)}
+		if err := tm.Reconfigure(p); err != nil {
+			t.Fatalf("Reconfigure: %v", err)
+		}
+	}
+	ws.Stop()
+	tx := tm.NewTx()
+	tm.Atomic(tx, func(tx *core.Tx) {
+		if set.Size(tx) < 0 {
+			t.Error("impossible size")
+		}
+	})
+}
+
+func TestWorkersPanicsOnBadThreads(t *testing.T) {
+	tm := newTM(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("StartWorkers(0) did not panic")
+		}
+	}()
+	harness.StartWorkers[*core.Tx](tm, 0, 1, func(*harness.Worker, *core.Tx) {})
+}

@@ -1,0 +1,136 @@
+package intset
+
+import "tinystm/internal/txn"
+
+// Transactional hash set (extension): fixed bucket array of sorted
+// singly-linked chains without sentinels. Buckets are word slots holding
+// the first node address (0 = empty), so an insert at a chain head writes
+// the bucket word itself — a useful contrast to the sentinel-based list
+// for lock-array mapping experiments.
+//
+// Layout: the handle addresses a block of 1+nbuckets words:
+//
+//	word 0:  bucket count
+//	word 1+i: head of chain i
+//
+// Chain nodes reuse the 2-word list layout (value, next).
+
+// NewHashSet allocates a hash set with nbuckets chains (power of two
+// recommended but not required) and returns its handle.
+func NewHashSet[T txn.Tx](tx T, nbuckets int) uint64 {
+	if nbuckets < 1 {
+		panic("intset: hash set needs at least one bucket")
+	}
+	h := tx.Alloc(1 + nbuckets)
+	tx.Store(h, uint64(nbuckets))
+	for i := 1; i <= nbuckets; i++ {
+		tx.Store(h+uint64(i), 0)
+	}
+	return h
+}
+
+func hashBucket[T txn.Tx](tx T, h, v uint64) uint64 {
+	n := tx.Load(h)
+	return h + 1 + (v*0x9e3779b97f4a7c15)%n
+}
+
+// HashContains reports whether v is present.
+func HashContains[T txn.Tx](tx T, h, v uint64) bool {
+	checkValue(v)
+	curr := tx.Load(hashBucket(tx, h, v))
+	for curr != 0 {
+		cv := tx.Load(curr + listVal)
+		if cv == v {
+			return true
+		}
+		if cv > v {
+			return false
+		}
+		curr = tx.Load(curr + listNext)
+	}
+	return false
+}
+
+// HashInsert adds v, reporting whether the set changed.
+func HashInsert[T txn.Tx](tx T, h, v uint64) bool {
+	checkValue(v)
+	b := hashBucket(tx, h, v)
+	prev := uint64(0)
+	curr := tx.Load(b)
+	for curr != 0 {
+		cv := tx.Load(curr + listVal)
+		if cv == v {
+			return false
+		}
+		if cv > v {
+			break
+		}
+		prev = curr
+		curr = tx.Load(curr + listNext)
+	}
+	n := tx.Alloc(listWords)
+	tx.Store(n+listVal, v)
+	tx.Store(n+listNext, curr)
+	if prev == 0 {
+		tx.Store(b, n)
+	} else {
+		tx.Store(prev+listNext, n)
+	}
+	return true
+}
+
+// HashRemove deletes v, reporting whether the set changed.
+func HashRemove[T txn.Tx](tx T, h, v uint64) bool {
+	checkValue(v)
+	b := hashBucket(tx, h, v)
+	prev := uint64(0)
+	curr := tx.Load(b)
+	for curr != 0 {
+		cv := tx.Load(curr + listVal)
+		if cv == v {
+			next := tx.Load(curr + listNext)
+			if prev == 0 {
+				tx.Store(b, next)
+			} else {
+				tx.Store(prev+listNext, next)
+			}
+			tx.Free(curr, listWords)
+			return true
+		}
+		if cv > v {
+			return false
+		}
+		prev = curr
+		curr = tx.Load(curr + listNext)
+	}
+	return false
+}
+
+// HashSize counts the elements.
+func HashSize[T txn.Tx](tx T, h uint64) int {
+	n := 0
+	buckets := tx.Load(h)
+	for i := uint64(0); i < buckets; i++ {
+		curr := tx.Load(h + 1 + i)
+		for curr != 0 {
+			n++
+			curr = tx.Load(curr + listNext)
+		}
+	}
+	return n
+}
+
+// HashSet binds a handle into the Set interface.
+type HashSet[T txn.Tx] struct{ Handle uint64 }
+
+// Contains implements Set.
+func (h HashSet[T]) Contains(tx T, v uint64) bool { return HashContains(tx, h.Handle, v) }
+
+// Insert implements Set.
+func (h HashSet[T]) Insert(tx T, v uint64) bool { return HashInsert(tx, h.Handle, v) }
+
+// Remove implements Set.
+func (h HashSet[T]) Remove(tx T, v uint64) bool { return HashRemove(tx, h.Handle, v) }
+
+// Size implements Set.
+func (h HashSet[T]) Size(tx T) int { return HashSize(tx, h.Handle) }

@@ -1,0 +1,138 @@
+package intset
+
+import "tinystm/internal/txn"
+
+// Sorted linked list (paper Section 3.3): "the list must be traversed in
+// order to add, remove, or locate entries and read sets can grow large."
+//
+// Node layout (2 words):
+//
+//	word 0: value
+//	word 1: next node address (mem.Nil terminates, but the tail sentinel
+//	        with MaxValue makes Nil unreachable during traversals)
+//
+// The list is bracketed by head (MinValue) and tail (MaxValue) sentinels,
+// so traversal code needs no nil checks and update transactions always
+// find a strict predecessor.
+
+const (
+	listVal   = 0
+	listNext  = 1
+	listWords = 2
+)
+
+// NewList allocates an empty list inside tx and returns the head sentinel
+// address.
+func NewList[T txn.Tx](tx T) uint64 {
+	head := tx.Alloc(listWords)
+	tail := tx.Alloc(listWords)
+	tx.Store(head+listVal, MinValue)
+	tx.Store(head+listNext, tail)
+	tx.Store(tail+listVal, MaxValue)
+	tx.Store(tail+listNext, 0)
+	return head
+}
+
+// listSearch returns the last node with value < v and its successor.
+func listSearch[T txn.Tx](tx T, head, v uint64) (prev, curr uint64) {
+	prev = head
+	curr = tx.Load(head + listNext)
+	for tx.Load(curr+listVal) < v {
+		prev = curr
+		curr = tx.Load(curr + listNext)
+	}
+	return prev, curr
+}
+
+// ListContains reports whether v is in the list.
+func ListContains[T txn.Tx](tx T, head, v uint64) bool {
+	checkValue(v)
+	_, curr := listSearch(tx, head, v)
+	return tx.Load(curr+listVal) == v
+}
+
+// ListInsert adds v, reporting whether the list changed.
+func ListInsert[T txn.Tx](tx T, head, v uint64) bool {
+	checkValue(v)
+	prev, curr := listSearch(tx, head, v)
+	if tx.Load(curr+listVal) == v {
+		return false
+	}
+	n := tx.Alloc(listWords)
+	tx.Store(n+listVal, v)
+	tx.Store(n+listNext, curr)
+	tx.Store(prev+listNext, n)
+	return true
+}
+
+// ListRemove deletes v, reporting whether the list changed.
+func ListRemove[T txn.Tx](tx T, head, v uint64) bool {
+	checkValue(v)
+	prev, curr := listSearch(tx, head, v)
+	if tx.Load(curr+listVal) != v {
+		return false
+	}
+	tx.Store(prev+listNext, tx.Load(curr+listNext))
+	tx.Free(curr, listWords)
+	return true
+}
+
+// ListSize counts the elements (sentinels excluded).
+func ListSize[T txn.Tx](tx T, head uint64) int {
+	n := 0
+	curr := tx.Load(head + listNext)
+	for tx.Load(curr+listVal) != MaxValue {
+		n++
+		curr = tx.Load(curr + listNext)
+	}
+	return n
+}
+
+// ListOverwrite implements the modified benchmark of Figure 4 (right):
+// "update transactions search for a random value and overwrite any entry
+// encountered while traversing the list up to the random value." It
+// rewrites each visited element with its own value (a semantic no-op with
+// a full-size write set) and returns the number of overwritten entries.
+func ListOverwrite[T txn.Tx](tx T, head, v uint64) int {
+	checkValue(v)
+	n := 0
+	curr := tx.Load(head + listNext)
+	for {
+		cv := tx.Load(curr + listVal)
+		if cv >= v || cv == MaxValue {
+			return n
+		}
+		tx.Store(curr+listVal, cv)
+		n++
+		curr = tx.Load(curr + listNext)
+	}
+}
+
+// ListSnapshot returns the values in order (test helper).
+func ListSnapshot[T txn.Tx](tx T, head uint64) []uint64 {
+	var out []uint64
+	curr := tx.Load(head + listNext)
+	for {
+		v := tx.Load(curr + listVal)
+		if v == MaxValue {
+			return out
+		}
+		out = append(out, v)
+		curr = tx.Load(curr + listNext)
+	}
+}
+
+// List binds a head address into the Set interface.
+type List[T txn.Tx] struct{ Head uint64 }
+
+// Contains implements Set.
+func (l List[T]) Contains(tx T, v uint64) bool { return ListContains(tx, l.Head, v) }
+
+// Insert implements Set.
+func (l List[T]) Insert(tx T, v uint64) bool { return ListInsert(tx, l.Head, v) }
+
+// Remove implements Set.
+func (l List[T]) Remove(tx T, v uint64) bool { return ListRemove(tx, l.Head, v) }
+
+// Size implements Set.
+func (l List[T]) Size(tx T) int { return ListSize(tx, l.Head) }

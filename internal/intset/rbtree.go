@@ -1,0 +1,393 @@
+package intset
+
+import "tinystm/internal/txn"
+
+// Transactional red-black tree (the paper's primary micro-benchmark,
+// taken from the STAMP distribution). Keys map to values so the tree
+// doubles as the ordered map the Vacation benchmark needs.
+//
+// Node layout (6 words):
+//
+//	word 0: key
+//	word 1: value
+//	word 2: left child address (0 = nil)
+//	word 3: right child address
+//	word 4: parent address (0 = root's parent)
+//	word 5: color (0 = black, 1 = red)
+//
+// A tree handle is the address of a single root word. No shared nil
+// sentinel is used: a sentinel would be written by every delete fix-up,
+// creating artificial conflicts between operations on disjoint subtrees —
+// exactly what the paper says red-black trees avoid ("transactions
+// typically access different subtrees").
+
+const (
+	nodeKey    = 0
+	nodeVal    = 1
+	nodeLeft   = 2
+	nodeRight  = 3
+	nodeParent = 4
+	nodeColor  = 5
+	nodeWords  = 6
+
+	colorBlack = 0
+	colorRed   = 1
+)
+
+// NewTree allocates an empty tree inside tx and returns its handle.
+func NewTree[T txn.Tx](tx T) uint64 {
+	root := tx.Alloc(1)
+	tx.Store(root, 0)
+	return root
+}
+
+// TreeLookup returns the value stored under key.
+func TreeLookup[T txn.Tx](tx T, t, key uint64) (uint64, bool) {
+	n := tx.Load(t)
+	for n != 0 {
+		k := tx.Load(n + nodeKey)
+		switch {
+		case key == k:
+			return tx.Load(n + nodeVal), true
+		case key < k:
+			n = tx.Load(n + nodeLeft)
+		default:
+			n = tx.Load(n + nodeRight)
+		}
+	}
+	return 0, false
+}
+
+// TreeContains reports whether key is present.
+func TreeContains[T txn.Tx](tx T, t, key uint64) bool {
+	_, ok := TreeLookup(tx, t, key)
+	return ok
+}
+
+// TreeInsert adds key→val, reporting whether the tree changed (an
+// existing key keeps its old value, as the STAMP harness expects).
+func TreeInsert[T txn.Tx](tx T, t, key, val uint64) bool {
+	var parent uint64
+	n := tx.Load(t)
+	for n != 0 {
+		k := tx.Load(n + nodeKey)
+		if key == k {
+			return false
+		}
+		parent = n
+		if key < k {
+			n = tx.Load(n + nodeLeft)
+		} else {
+			n = tx.Load(n + nodeRight)
+		}
+	}
+	z := tx.Alloc(nodeWords)
+	tx.Store(z+nodeKey, key)
+	tx.Store(z+nodeVal, val)
+	tx.Store(z+nodeLeft, 0)
+	tx.Store(z+nodeRight, 0)
+	tx.Store(z+nodeParent, parent)
+	tx.Store(z+nodeColor, colorRed)
+	if parent == 0 {
+		tx.Store(t, z)
+	} else if key < tx.Load(parent+nodeKey) {
+		tx.Store(parent+nodeLeft, z)
+	} else {
+		tx.Store(parent+nodeRight, z)
+	}
+	insertFixup(tx, t, z)
+	return true
+}
+
+// TreeSet stores key→val, inserting or overwriting. Reports whether a new
+// key was inserted.
+func TreeSet[T txn.Tx](tx T, t, key, val uint64) bool {
+	n := tx.Load(t)
+	for n != 0 {
+		k := tx.Load(n + nodeKey)
+		if key == k {
+			tx.Store(n+nodeVal, val)
+			return false
+		}
+		if key < k {
+			n = tx.Load(n + nodeLeft)
+		} else {
+			n = tx.Load(n + nodeRight)
+		}
+	}
+	return TreeInsert(tx, t, key, val)
+}
+
+func colorOf[T txn.Tx](tx T, n uint64) uint64 {
+	if n == 0 {
+		return colorBlack // nil is black
+	}
+	return tx.Load(n + nodeColor)
+}
+
+func leftRotate[T txn.Tx](tx T, t, x uint64) {
+	y := tx.Load(x + nodeRight)
+	yl := tx.Load(y + nodeLeft)
+	tx.Store(x+nodeRight, yl)
+	if yl != 0 {
+		tx.Store(yl+nodeParent, x)
+	}
+	p := tx.Load(x + nodeParent)
+	tx.Store(y+nodeParent, p)
+	if p == 0 {
+		tx.Store(t, y)
+	} else if tx.Load(p+nodeLeft) == x {
+		tx.Store(p+nodeLeft, y)
+	} else {
+		tx.Store(p+nodeRight, y)
+	}
+	tx.Store(y+nodeLeft, x)
+	tx.Store(x+nodeParent, y)
+}
+
+func rightRotate[T txn.Tx](tx T, t, x uint64) {
+	y := tx.Load(x + nodeLeft)
+	yr := tx.Load(y + nodeRight)
+	tx.Store(x+nodeLeft, yr)
+	if yr != 0 {
+		tx.Store(yr+nodeParent, x)
+	}
+	p := tx.Load(x + nodeParent)
+	tx.Store(y+nodeParent, p)
+	if p == 0 {
+		tx.Store(t, y)
+	} else if tx.Load(p+nodeLeft) == x {
+		tx.Store(p+nodeLeft, y)
+	} else {
+		tx.Store(p+nodeRight, y)
+	}
+	tx.Store(y+nodeRight, x)
+	tx.Store(x+nodeParent, y)
+}
+
+func insertFixup[T txn.Tx](tx T, t, z uint64) {
+	for {
+		p := tx.Load(z + nodeParent)
+		if p == 0 || colorOf(tx, p) == colorBlack {
+			break
+		}
+		g := tx.Load(p + nodeParent) // non-nil: a red parent is not root
+		if p == tx.Load(g+nodeLeft) {
+			u := tx.Load(g + nodeRight)
+			if colorOf(tx, u) == colorRed {
+				tx.Store(p+nodeColor, colorBlack)
+				tx.Store(u+nodeColor, colorBlack)
+				tx.Store(g+nodeColor, colorRed)
+				z = g
+				continue
+			}
+			if z == tx.Load(p+nodeRight) {
+				z = p
+				leftRotate(tx, t, z)
+				p = tx.Load(z + nodeParent)
+				g = tx.Load(p + nodeParent)
+			}
+			tx.Store(p+nodeColor, colorBlack)
+			tx.Store(g+nodeColor, colorRed)
+			rightRotate(tx, t, g)
+		} else {
+			u := tx.Load(g + nodeLeft)
+			if colorOf(tx, u) == colorRed {
+				tx.Store(p+nodeColor, colorBlack)
+				tx.Store(u+nodeColor, colorBlack)
+				tx.Store(g+nodeColor, colorRed)
+				z = g
+				continue
+			}
+			if z == tx.Load(p+nodeLeft) {
+				z = p
+				rightRotate(tx, t, z)
+				p = tx.Load(z + nodeParent)
+				g = tx.Load(p + nodeParent)
+			}
+			tx.Store(p+nodeColor, colorBlack)
+			tx.Store(g+nodeColor, colorRed)
+			leftRotate(tx, t, g)
+		}
+	}
+	root := tx.Load(t)
+	tx.Store(root+nodeColor, colorBlack)
+}
+
+// transplant replaces u by v in u's parent (v may be nil).
+func transplant[T txn.Tx](tx T, t, u, v uint64) {
+	p := tx.Load(u + nodeParent)
+	if p == 0 {
+		tx.Store(t, v)
+	} else if tx.Load(p+nodeLeft) == u {
+		tx.Store(p+nodeLeft, v)
+	} else {
+		tx.Store(p+nodeRight, v)
+	}
+	if v != 0 {
+		tx.Store(v+nodeParent, p)
+	}
+}
+
+// TreeRemove deletes key, reporting whether the tree changed.
+func TreeRemove[T txn.Tx](tx T, t, key uint64) bool {
+	z := tx.Load(t)
+	for z != 0 {
+		k := tx.Load(z + nodeKey)
+		if key == k {
+			break
+		}
+		if key < k {
+			z = tx.Load(z + nodeLeft)
+		} else {
+			z = tx.Load(z + nodeRight)
+		}
+	}
+	if z == 0 {
+		return false
+	}
+
+	// y is the node physically removed: z itself when it has at most one
+	// child, otherwise z's in-order successor, whose key/value are copied
+	// into z first (no external pointers into the tree exist, so
+	// relocation by copy is safe and is what STAMP's rbtree does too).
+	y := z
+	if tx.Load(z+nodeLeft) != 0 && tx.Load(z+nodeRight) != 0 {
+		y = tx.Load(z + nodeRight)
+		for l := tx.Load(y + nodeLeft); l != 0; l = tx.Load(y + nodeLeft) {
+			y = l
+		}
+		tx.Store(z+nodeKey, tx.Load(y+nodeKey))
+		tx.Store(z+nodeVal, tx.Load(y+nodeVal))
+	}
+
+	// y has at most one child x.
+	x := tx.Load(y + nodeLeft)
+	if x == 0 {
+		x = tx.Load(y + nodeRight)
+	}
+	xParent := tx.Load(y + nodeParent)
+	yColor := tx.Load(y + nodeColor)
+	transplant(tx, t, y, x)
+	if yColor == colorBlack {
+		deleteFixup(tx, t, x, xParent)
+	}
+	tx.Free(y, nodeWords)
+	return true
+}
+
+// deleteFixup restores the red-black invariants after removing a black
+// node; x (possibly nil) sits at parent, carrying the extra blackness.
+func deleteFixup[T txn.Tx](tx T, t, x, parent uint64) {
+	for x != tx.Load(t) && colorOf(tx, x) == colorBlack {
+		if x == tx.Load(parent+nodeLeft) {
+			w := tx.Load(parent + nodeRight) // non-nil by black-height
+			if colorOf(tx, w) == colorRed {
+				tx.Store(w+nodeColor, colorBlack)
+				tx.Store(parent+nodeColor, colorRed)
+				leftRotate(tx, t, parent)
+				w = tx.Load(parent + nodeRight)
+			}
+			wl, wr := tx.Load(w+nodeLeft), tx.Load(w+nodeRight)
+			if colorOf(tx, wl) == colorBlack && colorOf(tx, wr) == colorBlack {
+				tx.Store(w+nodeColor, colorRed)
+				x = parent
+				parent = tx.Load(x + nodeParent)
+				continue
+			}
+			if colorOf(tx, wr) == colorBlack {
+				if wl != 0 {
+					tx.Store(wl+nodeColor, colorBlack)
+				}
+				tx.Store(w+nodeColor, colorRed)
+				rightRotate(tx, t, w)
+				w = tx.Load(parent + nodeRight)
+				wr = tx.Load(w + nodeRight)
+			}
+			tx.Store(w+nodeColor, tx.Load(parent+nodeColor))
+			tx.Store(parent+nodeColor, colorBlack)
+			if wr != 0 {
+				tx.Store(wr+nodeColor, colorBlack)
+			}
+			leftRotate(tx, t, parent)
+			break
+		}
+		// Mirror image.
+		w := tx.Load(parent + nodeLeft)
+		if colorOf(tx, w) == colorRed {
+			tx.Store(w+nodeColor, colorBlack)
+			tx.Store(parent+nodeColor, colorRed)
+			rightRotate(tx, t, parent)
+			w = tx.Load(parent + nodeLeft)
+		}
+		wl, wr := tx.Load(w+nodeLeft), tx.Load(w+nodeRight)
+		if colorOf(tx, wl) == colorBlack && colorOf(tx, wr) == colorBlack {
+			tx.Store(w+nodeColor, colorRed)
+			x = parent
+			parent = tx.Load(x + nodeParent)
+			continue
+		}
+		if colorOf(tx, wl) == colorBlack {
+			if wr != 0 {
+				tx.Store(wr+nodeColor, colorBlack)
+			}
+			tx.Store(w+nodeColor, colorRed)
+			leftRotate(tx, t, w)
+			w = tx.Load(parent + nodeLeft)
+			wl = tx.Load(w + nodeLeft)
+		}
+		tx.Store(w+nodeColor, tx.Load(parent+nodeColor))
+		tx.Store(parent+nodeColor, colorBlack)
+		if wl != 0 {
+			tx.Store(wl+nodeColor, colorBlack)
+		}
+		rightRotate(tx, t, parent)
+		break
+	}
+	if x != 0 {
+		tx.Store(x+nodeColor, colorBlack)
+	}
+}
+
+// TreeSize counts the keys.
+func TreeSize[T txn.Tx](tx T, t uint64) int {
+	return subtreeSize(tx, tx.Load(t))
+}
+
+func subtreeSize[T txn.Tx](tx T, n uint64) int {
+	if n == 0 {
+		return 0
+	}
+	return 1 + subtreeSize(tx, tx.Load(n+nodeLeft)) + subtreeSize(tx, tx.Load(n+nodeRight))
+}
+
+// TreeSnapshot returns all keys in order (test helper).
+func TreeSnapshot[T txn.Tx](tx T, t uint64) []uint64 {
+	var out []uint64
+	var walk func(n uint64)
+	walk = func(n uint64) {
+		if n == 0 {
+			return
+		}
+		walk(tx.Load(n + nodeLeft))
+		out = append(out, tx.Load(n+nodeKey))
+		walk(tx.Load(n + nodeRight))
+	}
+	walk(tx.Load(t))
+	return out
+}
+
+// Tree binds a handle into the Set interface (values default to the key).
+type Tree[T txn.Tx] struct{ Root uint64 }
+
+// Contains implements Set.
+func (r Tree[T]) Contains(tx T, v uint64) bool { return TreeContains(tx, r.Root, v) }
+
+// Insert implements Set.
+func (r Tree[T]) Insert(tx T, v uint64) bool { return TreeInsert(tx, r.Root, v, v) }
+
+// Remove implements Set.
+func (r Tree[T]) Remove(tx T, v uint64) bool { return TreeRemove(tx, r.Root, v) }
+
+// Size implements Set.
+func (r Tree[T]) Size(tx T) int { return TreeSize(tx, r.Root) }

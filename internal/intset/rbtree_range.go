@@ -1,0 +1,108 @@
+package intset
+
+import "tinystm/internal/txn"
+
+// Ordered-map extensions over the red-black tree: minimum / maximum /
+// successor queries and bounded range scans. STAMP's Vacation only needs
+// point lookups, but any real consumer of an ordered transactional map
+// needs these, and they exercise longer read paths (good validation
+// pressure for the hierarchical fast path).
+
+// TreeMin returns the smallest key (ok=false when empty).
+func TreeMin[T txn.Tx](tx T, t uint64) (key uint64, ok bool) {
+	n := tx.Load(t)
+	if n == 0 {
+		return 0, false
+	}
+	for {
+		l := tx.Load(n + nodeLeft)
+		if l == 0 {
+			return tx.Load(n + nodeKey), true
+		}
+		n = l
+	}
+}
+
+// TreeMax returns the largest key (ok=false when empty).
+func TreeMax[T txn.Tx](tx T, t uint64) (key uint64, ok bool) {
+	n := tx.Load(t)
+	if n == 0 {
+		return 0, false
+	}
+	for {
+		r := tx.Load(n + nodeRight)
+		if r == 0 {
+			return tx.Load(n + nodeKey), true
+		}
+		n = r
+	}
+}
+
+// TreeCeiling returns the smallest key >= from (ok=false when none).
+func TreeCeiling[T txn.Tx](tx T, t, from uint64) (key uint64, ok bool) {
+	n := tx.Load(t)
+	for n != 0 {
+		k := tx.Load(n + nodeKey)
+		switch {
+		case k == from:
+			return k, true
+		case k < from:
+			n = tx.Load(n + nodeRight)
+		default:
+			key, ok = k, true
+			n = tx.Load(n + nodeLeft)
+		}
+	}
+	return key, ok
+}
+
+// TreeFloor returns the largest key <= upTo (ok=false when none).
+func TreeFloor[T txn.Tx](tx T, t, upTo uint64) (key uint64, ok bool) {
+	n := tx.Load(t)
+	for n != 0 {
+		k := tx.Load(n + nodeKey)
+		switch {
+		case k == upTo:
+			return k, true
+		case k > upTo:
+			n = tx.Load(n + nodeLeft)
+		default:
+			key, ok = k, true
+			n = tx.Load(n + nodeRight)
+		}
+	}
+	return key, ok
+}
+
+// TreeRange calls fn(key, value) for every key in [from, to] in ascending
+// order; fn returning false stops the scan early. Returns the number of
+// pairs visited.
+func TreeRange[T txn.Tx](tx T, t, from, to uint64, fn func(key, val uint64) bool) int {
+	visited := 0
+	stop := false
+	var walk func(n uint64)
+	walk = func(n uint64) {
+		if n == 0 || stop {
+			return
+		}
+		k := tx.Load(n + nodeKey)
+		if k > from {
+			walk(tx.Load(n + nodeLeft))
+		}
+		if stop {
+			return
+		}
+		if k >= from && k <= to {
+			visited++
+			if !fn(k, tx.Load(n+nodeVal)) {
+				stop = true
+				return
+			}
+		}
+		if k < to {
+			walk(tx.Load(n + nodeRight))
+		}
+	}
+	walk(tx.Load(t))
+	return visited
+}

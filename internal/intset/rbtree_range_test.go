@@ -1,0 +1,207 @@
+package intset_test
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tinystm/internal/core"
+	"tinystm/internal/intset"
+	"tinystm/internal/rng"
+)
+
+func buildTreeWith(t *testing.T, keys []uint64) (*core.TM, *core.Tx, uint64) {
+	t.Helper()
+	tm := newCoreSys(t, core.WriteBack)
+	tx := tm.NewTx()
+	var root uint64
+	tm.Atomic(tx, func(tx *core.Tx) {
+		root = intset.NewTree(tx)
+		for _, k := range keys {
+			intset.TreeInsert(tx, root, k, k*10)
+		}
+	})
+	return tm, tx, root
+}
+
+func TestTreeMinMax(t *testing.T) {
+	tm, tx, root := buildTreeWith(t, []uint64{42, 7, 99, 13, 56})
+	tm.Atomic(tx, func(tx *core.Tx) {
+		if k, ok := intset.TreeMin(tx, root); !ok || k != 7 {
+			t.Errorf("min = %d,%v want 7", k, ok)
+		}
+		if k, ok := intset.TreeMax(tx, root); !ok || k != 99 {
+			t.Errorf("max = %d,%v want 99", k, ok)
+		}
+	})
+}
+
+func TestTreeMinMaxEmpty(t *testing.T) {
+	tm, tx, root := buildTreeWith(t, nil)
+	tm.Atomic(tx, func(tx *core.Tx) {
+		if _, ok := intset.TreeMin(tx, root); ok {
+			t.Error("min on empty tree reported ok")
+		}
+		if _, ok := intset.TreeMax(tx, root); ok {
+			t.Error("max on empty tree reported ok")
+		}
+	})
+}
+
+func TestTreeCeilingFloor(t *testing.T) {
+	tm, tx, root := buildTreeWith(t, []uint64{10, 20, 30})
+	cases := []struct {
+		q       uint64
+		ceil    uint64
+		ceilOK  bool
+		floor   uint64
+		floorOK bool
+	}{
+		{5, 10, true, 0, false},
+		{10, 10, true, 10, true},
+		{15, 20, true, 10, true},
+		{30, 30, true, 30, true},
+		{35, 0, false, 30, true},
+	}
+	tm.Atomic(tx, func(tx *core.Tx) {
+		for _, c := range cases {
+			if k, ok := intset.TreeCeiling(tx, root, c.q); ok != c.ceilOK || (ok && k != c.ceil) {
+				t.Errorf("Ceiling(%d) = %d,%v want %d,%v", c.q, k, ok, c.ceil, c.ceilOK)
+			}
+			if k, ok := intset.TreeFloor(tx, root, c.q); ok != c.floorOK || (ok && k != c.floor) {
+				t.Errorf("Floor(%d) = %d,%v want %d,%v", c.q, k, ok, c.floor, c.floorOK)
+			}
+		}
+	})
+}
+
+func TestTreeRangeScan(t *testing.T) {
+	tm, tx, root := buildTreeWith(t, []uint64{10, 20, 30, 40, 50})
+	tm.Atomic(tx, func(tx *core.Tx) {
+		var keys, vals []uint64
+		n := intset.TreeRange(tx, root, 15, 45, func(k, v uint64) bool {
+			keys = append(keys, k)
+			vals = append(vals, v)
+			return true
+		})
+		if n != 3 || len(keys) != 3 {
+			t.Fatalf("visited %d, want 3", n)
+		}
+		for i, want := range []uint64{20, 30, 40} {
+			if keys[i] != want || vals[i] != want*10 {
+				t.Errorf("pair %d = (%d,%d), want (%d,%d)", i, keys[i], vals[i], want, want*10)
+			}
+		}
+	})
+}
+
+func TestTreeRangeEarlyStop(t *testing.T) {
+	tm, tx, root := buildTreeWith(t, []uint64{1, 2, 3, 4, 5})
+	tm.Atomic(tx, func(tx *core.Tx) {
+		var seen []uint64
+		n := intset.TreeRange(tx, root, 1, 5, func(k, v uint64) bool {
+			seen = append(seen, k)
+			return len(seen) < 2
+		})
+		if n != 2 || len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+			t.Errorf("early stop wrong: n=%d seen=%v", n, seen)
+		}
+	})
+}
+
+func TestQuickTreeRangeMatchesSort(t *testing.T) {
+	f := func(raw []uint16, loRaw, hiRaw uint16) bool {
+		lo, hi := uint64(loRaw%300), uint64(hiRaw%300)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		keys := map[uint64]bool{}
+		for _, r := range raw {
+			keys[uint64(r%300)+1] = true
+		}
+		tm := newCoreSys(t, core.WriteBack)
+		tx := tm.NewTx()
+		var root uint64
+		tm.Atomic(tx, func(tx *core.Tx) {
+			root = intset.NewTree(tx)
+			for k := range keys {
+				intset.TreeInsert(tx, root, k, k)
+			}
+		})
+		var want []uint64
+		for k := range keys {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		ok := true
+		tm.Atomic(tx, func(tx *core.Tx) {
+			var got []uint64
+			intset.TreeRange(tx, root, lo, hi, func(k, v uint64) bool {
+				got = append(got, k)
+				return true
+			})
+			if len(got) != len(want) {
+				ok = false
+				return
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeRangeUnderConcurrentMutation(t *testing.T) {
+	// A range scan inside one transaction must observe a consistent
+	// snapshot even while other descriptors mutate the tree.
+	tm := newCoreSys(t, core.WriteBack)
+	setup := tm.NewTx()
+	var root uint64
+	tm.Atomic(setup, func(tx *core.Tx) {
+		root = intset.NewTree(tx)
+		for k := uint64(2); k <= 200; k += 2 { // even keys only
+			intset.TreeInsert(tx, root, k, k)
+		}
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r := rng.New(5)
+		tx := tm.NewTx()
+		for i := 0; i < 300; i++ {
+			k := uint64(r.Intn(100))*2 + 1 // odd keys
+			tm.Atomic(tx, func(tx *core.Tx) {
+				if !intset.TreeInsert(tx, root, k, k) {
+					intset.TreeRemove(tx, root, k)
+				}
+			})
+		}
+	}()
+	scan := tm.NewTx()
+	for i := 0; i < 50; i++ {
+		tm.AtomicRO(scan, func(tx *core.Tx) {
+			// Even keys are immutable: a consistent snapshot always
+			// contains exactly 100 of them regardless of odd-key churn.
+			evens := 0
+			intset.TreeRange(tx, root, 1, 200, func(k, v uint64) bool {
+				if k%2 == 0 {
+					evens++
+				}
+				return true
+			})
+			if evens != 100 {
+				t.Errorf("scan %d: saw %d even keys, want 100", i, evens)
+			}
+		})
+	}
+	<-done
+}

@@ -1,0 +1,144 @@
+package intset
+
+import (
+	"tinystm/internal/rng"
+	"tinystm/internal/txn"
+)
+
+// Transactional skip list (an extension beyond the paper's benchmarks,
+// exercising variable-size nodes and multi-word link updates on the same
+// STM API).
+//
+// Node layout (2 + level words):
+//
+//	word 0:      value
+//	word 1:      level (number of forward links, 1..SkipMaxLevel)
+//	word 2..:    forward pointers, level 0 first
+//
+// The head sentinel has SkipMaxLevel links and value MinValue; level-0
+// links end at a tail sentinel carrying MaxValue.
+
+// SkipMaxLevel bounds the tower height; 2^16 elements keep p=1/2 towers
+// comfortably below it.
+const SkipMaxLevel = 16
+
+const (
+	skipVal   = 0
+	skipLevel = 1
+	skipFwd   = 2
+)
+
+// NewSkipList allocates an empty skip list inside tx and returns the head
+// sentinel address.
+func NewSkipList[T txn.Tx](tx T) uint64 {
+	head := tx.Alloc(skipFwd + SkipMaxLevel)
+	tail := tx.Alloc(skipFwd + 1)
+	tx.Store(head+skipVal, MinValue)
+	tx.Store(head+skipLevel, SkipMaxLevel)
+	tx.Store(tail+skipVal, MaxValue)
+	tx.Store(tail+skipLevel, 1)
+	tx.Store(tail+skipFwd, 0)
+	for i := 0; i < SkipMaxLevel; i++ {
+		tx.Store(head+skipFwd+uint64(i), tail)
+	}
+	return head
+}
+
+// skipSearch fills preds with the rightmost node < v per level and returns
+// the level-0 successor.
+func skipSearch[T txn.Tx](tx T, head, v uint64, preds *[SkipMaxLevel]uint64) uint64 {
+	x := head
+	for i := SkipMaxLevel - 1; i >= 0; i-- {
+		for {
+			next := tx.Load(x + skipFwd + uint64(i))
+			if tx.Load(next+skipVal) >= v {
+				break
+			}
+			x = next
+		}
+		preds[i] = x
+	}
+	return tx.Load(x + skipFwd)
+}
+
+// SkipContains reports whether v is present.
+func SkipContains[T txn.Tx](tx T, head, v uint64) bool {
+	checkValue(v)
+	var preds [SkipMaxLevel]uint64
+	curr := skipSearch(tx, head, v, &preds)
+	return tx.Load(curr+skipVal) == v
+}
+
+// SkipInsert adds v with a tower height drawn from r (p = 1/2), reporting
+// whether the list changed. The caller owns r; passing the worker's
+// deterministic generator keeps runs reproducible.
+func SkipInsert[T txn.Tx](tx T, head, v uint64, r *rng.Rand) bool {
+	checkValue(v)
+	var preds [SkipMaxLevel]uint64
+	curr := skipSearch(tx, head, v, &preds)
+	if tx.Load(curr+skipVal) == v {
+		return false
+	}
+	level := 1
+	for level < SkipMaxLevel && r.Uint64()&1 == 1 {
+		level++
+	}
+	n := tx.Alloc(skipFwd + level)
+	tx.Store(n+skipVal, v)
+	tx.Store(n+skipLevel, uint64(level))
+	for i := 0; i < level; i++ {
+		p := preds[i]
+		next := tx.Load(p + skipFwd + uint64(i))
+		tx.Store(n+skipFwd+uint64(i), next)
+		tx.Store(p+skipFwd+uint64(i), n)
+	}
+	return true
+}
+
+// SkipRemove deletes v, reporting whether the list changed.
+func SkipRemove[T txn.Tx](tx T, head, v uint64) bool {
+	checkValue(v)
+	var preds [SkipMaxLevel]uint64
+	curr := skipSearch(tx, head, v, &preds)
+	if tx.Load(curr+skipVal) != v {
+		return false
+	}
+	level := int(tx.Load(curr + skipLevel))
+	for i := 0; i < level; i++ {
+		p := preds[i]
+		if tx.Load(p+skipFwd+uint64(i)) == curr {
+			tx.Store(p+skipFwd+uint64(i), tx.Load(curr+skipFwd+uint64(i)))
+		}
+	}
+	tx.Free(curr, skipFwd+level)
+	return true
+}
+
+// SkipSize counts the elements.
+func SkipSize[T txn.Tx](tx T, head uint64) int {
+	n := 0
+	curr := tx.Load(head + skipFwd)
+	for tx.Load(curr+skipVal) != MaxValue {
+		n++
+		curr = tx.Load(curr + skipFwd)
+	}
+	return n
+}
+
+// SkipList binds a head address plus a level generator into Set.
+type SkipList[T txn.Tx] struct {
+	Head uint64
+	Rng  *rng.Rand
+}
+
+// Contains implements Set.
+func (s SkipList[T]) Contains(tx T, v uint64) bool { return SkipContains(tx, s.Head, v) }
+
+// Insert implements Set.
+func (s SkipList[T]) Insert(tx T, v uint64) bool { return SkipInsert(tx, s.Head, v, s.Rng) }
+
+// Remove implements Set.
+func (s SkipList[T]) Remove(tx T, v uint64) bool { return SkipRemove(tx, s.Head, v) }
+
+// Size implements Set.
+func (s SkipList[T]) Size(tx T) int { return SkipSize(tx, s.Head) }

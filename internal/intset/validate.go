@@ -1,0 +1,95 @@
+package intset
+
+import (
+	"fmt"
+
+	"tinystm/internal/txn"
+)
+
+// TreeValidate checks the red-black invariants transactionally and returns
+// the first violation found (nil if the tree is valid):
+//
+//  1. the root is black;
+//  2. no red node has a red child;
+//  3. every root-to-leaf path has the same black height;
+//  4. in-order keys are strictly increasing;
+//  5. parent pointers are consistent with child pointers.
+func TreeValidate[T txn.Tx](tx T, t uint64) error {
+	root := tx.Load(t)
+	if root == 0 {
+		return nil
+	}
+	if tx.Load(root+nodeColor) != colorBlack {
+		return fmt.Errorf("intset: root %d is red", root)
+	}
+	if p := tx.Load(root + nodeParent); p != 0 {
+		return fmt.Errorf("intset: root %d has parent %d", root, p)
+	}
+	_, err := validateSubtree(tx, root)
+	if err != nil {
+		return err
+	}
+	return validateOrder(tx, root)
+}
+
+// validateSubtree returns the black height of n's subtree.
+func validateSubtree[T txn.Tx](tx T, n uint64) (int, error) {
+	if n == 0 {
+		return 1, nil
+	}
+	c := tx.Load(n + nodeColor)
+	if c != colorBlack && c != colorRed {
+		return 0, fmt.Errorf("intset: node %d has invalid color %d", n, c)
+	}
+	l, r := tx.Load(n+nodeLeft), tx.Load(n+nodeRight)
+	if c == colorRed {
+		if l != 0 && tx.Load(l+nodeColor) == colorRed {
+			return 0, fmt.Errorf("intset: red node %d has red left child", n)
+		}
+		if r != 0 && tx.Load(r+nodeColor) == colorRed {
+			return 0, fmt.Errorf("intset: red node %d has red right child", n)
+		}
+	}
+	if l != 0 && tx.Load(l+nodeParent) != n {
+		return 0, fmt.Errorf("intset: node %d left child parent pointer broken", n)
+	}
+	if r != 0 && tx.Load(r+nodeParent) != n {
+		return 0, fmt.Errorf("intset: node %d right child parent pointer broken", n)
+	}
+	lh, err := validateSubtree(tx, l)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := validateSubtree(tx, r)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, fmt.Errorf("intset: node %d black height mismatch %d vs %d", n, lh, rh)
+	}
+	if c == colorBlack {
+		lh++
+	}
+	return lh, nil
+}
+
+func validateOrder[T txn.Tx](tx T, root uint64) error {
+	prev := uint64(0)
+	first := true
+	var walk func(n uint64) error
+	walk = func(n uint64) error {
+		if n == 0 {
+			return nil
+		}
+		if err := walk(tx.Load(n + nodeLeft)); err != nil {
+			return err
+		}
+		k := tx.Load(n + nodeKey)
+		if !first && k <= prev {
+			return fmt.Errorf("intset: keys out of order: %d after %d", k, prev)
+		}
+		prev, first = k, false
+		return walk(tx.Load(n + nodeRight))
+	}
+	return walk(root)
+}

@@ -1,0 +1,80 @@
+package mem
+
+import "sync"
+
+// allocator is a simple size-class free-list allocator over a word range.
+//
+// Blocks are allocated by bumping a frontier pointer; freed blocks are
+// pushed onto a per-size free list and reused verbatim. There is no
+// coalescing: transactional workloads in this repository allocate a small
+// set of fixed node sizes (list nodes, tree nodes, reservation records),
+// for which segregated free lists are both fast and fragmentation-free.
+// Size classes larger than maxSizeClass share one list searched linearly;
+// in practice nothing in the repository allocates blocks that large.
+type allocator struct {
+	mu       sync.Mutex
+	next     uint64 // bump frontier
+	limit    uint64 // one past the last usable word
+	free     [maxSizeClass + 1][]uint64
+	big      []bigBlock // rarely used overflow list
+	liveWrds uint64
+}
+
+const maxSizeClass = 64
+
+type bigBlock struct {
+	addr uint64
+	size uint64
+}
+
+func (al *allocator) init(start, limit uint64) {
+	al.next = start
+	al.limit = limit
+}
+
+// take reserves n contiguous words, returning 0 when exhausted.
+func (al *allocator) take(n uint64) uint64 {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	if n <= maxSizeClass {
+		if l := al.free[n]; len(l) > 0 {
+			a := l[len(l)-1]
+			al.free[n] = l[:len(l)-1]
+			al.liveWrds += n
+			return a
+		}
+	} else {
+		for i, b := range al.big {
+			if b.size == n {
+				al.big[i] = al.big[len(al.big)-1]
+				al.big = al.big[:len(al.big)-1]
+				al.liveWrds += n
+				return b.addr
+			}
+		}
+	}
+	if al.next+n > al.limit {
+		return 0
+	}
+	a := al.next
+	al.next += n
+	al.liveWrds += n
+	return a
+}
+
+func (al *allocator) give(a, n uint64) {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	if n <= maxSizeClass {
+		al.free[n] = append(al.free[n], a)
+	} else {
+		al.big = append(al.big, bigBlock{addr: a, size: n})
+	}
+	al.liveWrds -= n
+}
+
+func (al *allocator) live() uint64 {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	return al.liveWrds
+}

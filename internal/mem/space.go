@@ -1,0 +1,99 @@
+// Package mem provides the word-addressed transactional memory arena that
+// both STM implementations operate on.
+//
+// The paper's TinySTM is a word-based STM over raw process memory: the STM
+// hashes machine addresses into a lock array. Go's garbage collector and
+// pointer rules make raw-address striping unsafe, so this package supplies
+// the closest controlled equivalent: a flat array of 64-bit words in which
+// an address (Addr) is a word index. The allocator hands out contiguous
+// index ranges, so spatial locality — the property the paper's #shifts
+// tuning parameter exploits — behaves exactly as with native pointers, and
+// false sharing between neighbouring allocations is preserved.
+//
+// All word accesses go through sync/atomic: with the write-through design
+// transactions write to memory before commit, so plain loads would race.
+package mem
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Addr is a word address inside a Space: the index of a 64-bit word.
+// Addr 0 is reserved as the nil address; the allocator never returns it.
+type Addr uint64
+
+// Nil is the reserved null address.
+const Nil Addr = 0
+
+// Space is a flat, fixed-capacity arena of 64-bit words. Word reads and
+// writes are individually atomic; transactional consistency across words is
+// the STM's job, not the Space's.
+type Space struct {
+	words []uint64
+	alloc allocator
+}
+
+// NewSpace returns a Space holding capacity words. The first word is
+// reserved so that Addr 0 can serve as nil. It panics if capacity < 2.
+func NewSpace(capacity int) *Space {
+	if capacity < 2 {
+		panic("mem: space capacity must be at least 2 words")
+	}
+	s := &Space{words: make([]uint64, capacity)}
+	s.alloc.init(1, uint64(capacity)) // word 0 reserved
+	return s
+}
+
+// Cap returns the total capacity in words, including the reserved word.
+func (s *Space) Cap() int { return len(s.words) }
+
+// Load atomically reads the word at a.
+func (s *Space) Load(a Addr) uint64 {
+	return atomic.LoadUint64(&s.words[a])
+}
+
+// Store atomically writes the word at a.
+func (s *Space) Store(a Addr, v uint64) {
+	atomic.StoreUint64(&s.words[a], v)
+}
+
+// CompareAndSwap atomically replaces the word at a if it equals old.
+func (s *Space) CompareAndSwap(a Addr, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&s.words[a], old, new)
+}
+
+// Alloc reserves n contiguous words and returns the address of the first.
+// The words are zeroed. It returns Nil if the space is exhausted.
+func (s *Space) Alloc(n int) Addr {
+	if n <= 0 {
+		panic(fmt.Sprintf("mem: Alloc(%d): size must be positive", n))
+	}
+	a := s.alloc.take(uint64(n))
+	if a == 0 {
+		return Nil
+	}
+	for i := Addr(a); i < Addr(a)+Addr(n); i++ {
+		atomic.StoreUint64(&s.words[i], 0)
+	}
+	return Addr(a)
+}
+
+// Free returns the n-word block at a to the allocator. Freeing Nil is a
+// no-op. The caller must pass the same n used at Alloc time.
+func (s *Space) Free(a Addr, n int) {
+	if a == Nil {
+		return
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("mem: Free(%d, %d): size must be positive", a, n))
+	}
+	if uint64(a)+uint64(n) > uint64(len(s.words)) {
+		panic(fmt.Sprintf("mem: Free(%d, %d): out of range", a, n))
+	}
+	s.alloc.give(uint64(a), uint64(n))
+}
+
+// LiveWords reports the number of words currently allocated (excluding the
+// reserved word). Intended for tests and leak accounting.
+func (s *Space) LiveWords() uint64 { return s.alloc.live() }

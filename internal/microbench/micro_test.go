@@ -1,0 +1,84 @@
+// Package microbench holds head-to-head single-threaded benchmarks of
+// TinySTM and TL2 on identical workloads. These isolate per-operation
+// constant factors from the contention effects the paper's figures
+// measure: with one thread there are no conflicts, so the numbers below
+// are pure instruction-path costs.
+package microbench
+
+import (
+	"testing"
+
+	"tinystm/internal/core"
+	"tinystm/internal/harness"
+	"tinystm/internal/mem"
+	"tinystm/internal/rng"
+	"tinystm/internal/tl2"
+)
+
+func coreOp(b *testing.B, updatePct int, d core.Design) (harness.OpFunc[*core.Tx], *harness.Worker, *core.Tx) {
+	b.Helper()
+	sp := mem.NewSpace(1 << 20)
+	tm := core.MustNew(core.Config{Space: sp, Locks: 1 << 20, Design: d})
+	ip := harness.IntsetParams{Kind: harness.KindList, InitialSize: 256, UpdatePct: updatePct}
+	set := harness.BuildIntset[*core.Tx](tm, ip, 1)
+	return harness.IntsetOp[*core.Tx](tm, set, ip),
+		&harness.Worker{ID: 0, Rng: rng.New(7)}, tm.NewTx()
+}
+
+func tl2Op(b *testing.B, updatePct int) (harness.OpFunc[*tl2.Tx], *harness.Worker, *tl2.Tx) {
+	b.Helper()
+	sp := mem.NewSpace(1 << 20)
+	tm := tl2.MustNew(tl2.Config{Space: sp, Locks: 1 << 20})
+	ip := harness.IntsetParams{Kind: harness.KindList, InitialSize: 256, UpdatePct: updatePct}
+	set := harness.BuildIntset[*tl2.Tx](tm, ip, 1)
+	return harness.IntsetOp[*tl2.Tx](tm, set, ip),
+		&harness.Worker{ID: 0, Rng: rng.New(7)}, tm.NewTx()
+}
+
+func BenchmarkListReadOnlyTinySTMWB(b *testing.B) {
+	op, w, tx := coreOp(b, 0, core.WriteBack)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op(w, tx)
+	}
+}
+
+func BenchmarkListReadOnlyTinySTMWT(b *testing.B) {
+	op, w, tx := coreOp(b, 0, core.WriteThrough)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op(w, tx)
+	}
+}
+
+func BenchmarkListReadOnlyTL2(b *testing.B) {
+	op, w, tx := tl2Op(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op(w, tx)
+	}
+}
+
+func BenchmarkListUpdateTinySTMWB(b *testing.B) {
+	op, w, tx := coreOp(b, 100, core.WriteBack)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op(w, tx)
+	}
+}
+
+func BenchmarkListUpdateTinySTMWT(b *testing.B) {
+	op, w, tx := coreOp(b, 100, core.WriteThrough)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op(w, tx)
+	}
+}
+
+func BenchmarkListUpdateTL2(b *testing.B) {
+	op, w, tx := tl2Op(b, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op(w, tx)
+	}
+}

@@ -1,0 +1,95 @@
+package reclaim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDrainRespectsMinStart(t *testing.T) {
+	var p Pool
+	p.Retire(10, 2, 5)
+	p.Retire(20, 2, 8)
+	p.Retire(30, 2, 12)
+
+	got := p.Drain(8)
+	if len(got) != 2 {
+		t.Fatalf("drained %d blocks, want 2", len(got))
+	}
+	for _, b := range got {
+		if b.Addr != 10 && b.Addr != 20 {
+			t.Errorf("unexpected block %d", b.Addr)
+		}
+	}
+	if p.Len() != 1 {
+		t.Errorf("remaining = %d, want 1", p.Len())
+	}
+}
+
+func TestDrainAllEmptiesPool(t *testing.T) {
+	var p Pool
+	for i := uint64(0); i < 10; i++ {
+		p.Retire(i*10, 1, i)
+	}
+	got := p.DrainAll()
+	if len(got) != 10 {
+		t.Errorf("DrainAll returned %d, want 10", len(got))
+	}
+	if p.Len() != 0 {
+		t.Errorf("pool not empty: %d", p.Len())
+	}
+}
+
+func TestDrainEqualTimestampIsReclaimable(t *testing.T) {
+	// ts == minActiveStart means every active transaction started at or
+	// after the freeing commit, which cannot reach the block.
+	var p Pool
+	p.Retire(10, 1, 7)
+	if got := p.Drain(7); len(got) != 1 {
+		t.Errorf("block with ts==min not drained: %d", len(got))
+	}
+}
+
+func TestDrainNothingEligible(t *testing.T) {
+	var p Pool
+	p.Retire(10, 1, 100)
+	if got := p.Drain(50); len(got) != 0 {
+		t.Errorf("drained %d blocks from an ineligible pool", len(got))
+	}
+	if p.Len() != 1 {
+		t.Errorf("pool lost a block: %d", p.Len())
+	}
+}
+
+func TestEmptyPool(t *testing.T) {
+	var p Pool
+	if p.Len() != 0 || len(p.Drain(^uint64(0))) != 0 || len(p.DrainAll()) != 0 {
+		t.Error("empty pool misbehaved")
+	}
+}
+
+func TestConcurrentRetireDrain(t *testing.T) {
+	var p Pool
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Retire(uint64(id*1000+i), 1, uint64(i))
+				if i%100 == 99 {
+					n := len(p.Drain(uint64(i)))
+					mu.Lock()
+					total += n
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total += len(p.DrainAll())
+	if total != 4000 {
+		t.Errorf("blocks lost or duplicated: drained %d, want 4000", total)
+	}
+}

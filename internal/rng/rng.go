@@ -1,0 +1,93 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator for benchmark workloads and the tuning strategy.
+//
+// Benchmark threads each own one generator seeded from a base seed and the
+// thread index, which makes every experiment reproducible without any
+// cross-thread synchronization. The generator is xorshift64* (Vigna, 2014):
+// a single 64-bit word of state, passes BigCrush except MatrixRank, and is
+// far cheaper than math/rand for the per-operation draws benchmarks make.
+package rng
+
+// Rand is a deterministic xorshift64* generator. The zero value is invalid;
+// use New. Rand is not safe for concurrent use; give each goroutine its own.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. A zero seed is replaced with a
+// fixed non-zero constant because xorshift state must never be zero.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// NewThread returns a generator for thread index tid derived from a base
+// seed such that distinct threads get decorrelated streams.
+func NewThread(base uint64, tid int) *Rand {
+	// SplitMix64 step decorrelates consecutive thread ids.
+	z := base + 0x9e3779b97f4a7c15*uint64(tid+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x853c49e6748fea9b
+	}
+	return &Rand{state: z}
+}
+
+// Seed resets the generator state.
+func (r *Rand) Seed(seed uint64) {
+	if seed == 0 {
+		seed = 0x853c49e6748fea9b
+	}
+	r.state = seed
+}
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Uint32 returns the high 32 bits of the next value.
+func (r *Rand) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a value in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Percent returns true with probability pct/100. Values outside [0, 100]
+// clamp to always-false / always-true.
+func (r *Rand) Percent(pct int) bool {
+	if pct <= 0 {
+		return false
+	}
+	if pct >= 100 {
+		return true
+	}
+	return r.Intn(100) < pct
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

@@ -1,0 +1,147 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	r := New(7)
+	first := r.Uint64()
+	r.Uint64()
+	r.Seed(7)
+	if got := r.Uint64(); got != first {
+		t.Errorf("after reseed first draw = %d, want %d", got, first)
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced a stuck stream")
+	}
+}
+
+func TestThreadStreamsDiffer(t *testing.T) {
+	r0, r1 := NewThread(42, 0), NewThread(42, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r0.Uint64() == r1.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("thread streams nearly identical: %d/100 equal", same)
+	}
+}
+
+func TestThreadStreamsDeterministic(t *testing.T) {
+	a, b := NewThread(42, 3), NewThread(42, 3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("thread stream not reproducible")
+		}
+	}
+}
+
+func TestIntnBoundsQuick(t *testing.T) {
+	r := New(1)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nBoundsQuick(t *testing.T) {
+	r := New(1)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	r := New(1)
+	for _, n := range []int{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			r.Intn(n)
+		}()
+	}
+}
+
+func TestPercentEdges(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 50; i++ {
+		if r.Percent(0) {
+			t.Fatal("Percent(0) returned true")
+		}
+		if !r.Percent(100) {
+			t.Fatal("Percent(100) returned false")
+		}
+		if r.Percent(-10) {
+			t.Fatal("Percent(-10) returned true")
+		}
+		if !r.Percent(200) {
+			t.Fatal("Percent(200) returned false")
+		}
+	}
+}
+
+func TestPercentRoughDistribution(t *testing.T) {
+	r := New(99)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Percent(20) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.18 || frac > 0.22 {
+		t.Errorf("Percent(20) rate = %.3f, want ~0.20", frac)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestUint32NotConstant(t *testing.T) {
+	r := New(5)
+	seen := map[uint32]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint32()] = true
+	}
+	if len(seen) < 90 {
+		t.Errorf("Uint32 diversity too low: %d/100 distinct", len(seen))
+	}
+}

@@ -1,0 +1,102 @@
+package tl2
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"tinystm/internal/rng"
+)
+
+// The TL2 analogue of core's serializability checker: update transactions
+// serialize in write-version order; replaying the committed history must
+// reproduce every logged read.
+
+type loggedTx struct {
+	ts     uint64
+	reads  [](struct{ addr, val uint64 })
+	writes [](struct{ addr, val uint64 })
+}
+
+func TestSerializability(t *testing.T) {
+	tm, _ := newTestTM(t, nil)
+	const (
+		workers     = 4
+		txPerWorker = 300
+		words       = 8
+	)
+	setup := tm.NewTx()
+	var base uint64
+	tm.Atomic(setup, func(tx *Tx) { base = tx.Alloc(words) })
+
+	var mu sync.Mutex
+	var history []loggedTx
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := rng.NewThread(99, id)
+			tx := tm.NewTx()
+			for i := 0; i < txPerWorker; i++ {
+				var rec loggedTx
+				rAddrs := []uint64{
+					base + uint64(r.Intn(words)),
+					base + uint64(r.Intn(words)),
+				}
+				wAddrs := []uint64{
+					base + uint64(r.Intn(words)),
+					base + uint64(r.Intn(words)),
+				}
+				val := uint64(id)<<32 | uint64(i+1)
+				tm.Atomic(tx, func(tx *Tx) {
+					rec = loggedTx{}
+					for _, a := range rAddrs {
+						rec.reads = append(rec.reads,
+							struct{ addr, val uint64 }{a, tx.Load(a)})
+					}
+					for k, a := range wAddrs {
+						v := val + uint64(k)<<16
+						tx.Store(a, v)
+						rec.writes = append(rec.writes,
+							struct{ addr, val uint64 }{a, v})
+					}
+				})
+				rec.ts = tx.LastCommitTS()
+				if rec.ts == 0 {
+					t.Error("update commit reported zero write version")
+					return
+				}
+				mu.Lock()
+				history = append(history, rec)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	sort.Slice(history, func(i, j int) bool { return history[i].ts < history[j].ts })
+	state := make(map[uint64]uint64, words)
+	for i, rec := range history {
+		if i > 0 && rec.ts == history[i-1].ts {
+			t.Fatalf("duplicate write version %d", rec.ts)
+		}
+		for _, rd := range rec.reads {
+			if got := state[rd.addr]; got != rd.val {
+				t.Fatalf("tx@%d read addr %d = %d, but serial replay has %d",
+					rec.ts, rd.addr, rd.val, got)
+			}
+		}
+		for _, wr := range rec.writes {
+			state[wr.addr] = wr.val
+		}
+	}
+	tm.Atomic(setup, func(tx *Tx) {
+		for a, v := range state {
+			if got := tx.Load(a); got != v {
+				t.Fatalf("final memory addr %d = %d, replay has %d", a, got, v)
+			}
+		}
+	})
+}

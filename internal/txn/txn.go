@@ -1,0 +1,146 @@
+// Package txn defines the transaction interface shared by the TinySTM and
+// TL2 implementations, along with the statistics structures both report.
+//
+// Transactional data structures (package intset, package vacation) and the
+// benchmark harness are generic over the Tx constraint, so each STM gets a
+// statically-dispatched instantiation: there are no interface calls on the
+// load/store hot path.
+package txn
+
+// Tx is the operation set a transaction exposes to transactional code.
+// All addresses are word addresses in the STM's mem.Space (represented as
+// uint64 here to avoid an import cycle with concrete STMs; mem.Addr is a
+// uint64 under the hood and concrete implementations use it directly).
+type Tx interface {
+	// Load returns the value of the word at addr within this transaction's
+	// snapshot. On conflict the transaction aborts by panicking with the
+	// STM's private sentinel, unwinding to the Atomic retry loop.
+	Load(addr uint64) uint64
+	// Store writes the word at addr within this transaction.
+	Store(addr uint64, v uint64)
+	// Alloc reserves n contiguous fresh words. Allocations made by a
+	// transaction that aborts are released automatically.
+	Alloc(n int) uint64
+	// Free releases the n-word block at addr at commit time. The block
+	// remains allocated if the transaction aborts. Freeing acquires the
+	// covering locks (a free is semantically an update).
+	Free(addr uint64, n int)
+}
+
+// System abstracts an STM runtime for the benchmark harness: it mints
+// per-thread transaction descriptors and runs atomic blocks with retry.
+type System[T Tx] interface {
+	// NewTx registers and returns a transaction descriptor for one worker.
+	NewTx() T
+	// Atomic runs fn transactionally, retrying on conflict until commit.
+	Atomic(tx T, fn func(T))
+	// AtomicRO runs fn as a read-only transaction (no read set; aborts
+	// instead of extending; upgrades to an update transaction if fn
+	// writes). Implementations may fall back to Atomic semantics.
+	AtomicRO(tx T, fn func(T))
+	// Stats returns a snapshot of global commit/abort counters.
+	Stats() Stats
+}
+
+// AbortKind classifies why a transaction aborted.
+type AbortKind int
+
+const (
+	// AbortReadConflict: a load found the covering lock owned by another
+	// transaction, or the lock word changed while reading.
+	AbortReadConflict AbortKind = iota
+	// AbortWriteConflict: a store found the covering lock owned by another
+	// transaction (encounter time) or lock acquisition failed (commit time).
+	AbortWriteConflict
+	// AbortValidate: read-set validation failed at commit or extension.
+	AbortValidate
+	// AbortExtend: a read observed a version newer than the snapshot and
+	// the snapshot could not be extended (includes read-only aborts).
+	AbortExtend
+	// AbortExplicit: user code requested a retry.
+	AbortExplicit
+	// AbortFrozen: the STM froze (clock roll-over or reconfiguration).
+	AbortFrozen
+	// AbortUpgrade: a read-only transaction attempted a write and restarts
+	// in update mode.
+	AbortUpgrade
+	nAbortKinds
+)
+
+// NAbortKinds is the number of abort classifications.
+const NAbortKinds = int(nAbortKinds)
+
+// String returns a short human-readable label.
+func (k AbortKind) String() string {
+	switch k {
+	case AbortReadConflict:
+		return "read-conflict"
+	case AbortWriteConflict:
+		return "write-conflict"
+	case AbortValidate:
+		return "validate"
+	case AbortExtend:
+		return "extend"
+	case AbortExplicit:
+		return "explicit"
+	case AbortFrozen:
+		return "frozen"
+	case AbortUpgrade:
+		return "upgrade"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats is a snapshot of an STM's global counters. Counters are summed
+// across all transaction descriptors.
+type Stats struct {
+	Commits      uint64
+	Aborts       uint64
+	AbortsByKind [NAbortKinds]uint64
+	// Extensions counts successful snapshot extensions (TinySTM only).
+	Extensions uint64
+	// LocksValidated counts read-set entries checked one-by-one during
+	// validation; LocksSkipped counts entries skipped via the hierarchical
+	// fast path (Figure 12's two series).
+	LocksValidated uint64
+	LocksSkipped   uint64
+	// RollOvers counts clock roll-over events; Reconfigs counts dynamic
+	// parameter changes.
+	RollOvers uint64
+	Reconfigs uint64
+}
+
+// Sub returns s - o field-wise; used to compute per-interval deltas.
+func (s Stats) Sub(o Stats) Stats {
+	d := Stats{
+		Commits:        s.Commits - o.Commits,
+		Aborts:         s.Aborts - o.Aborts,
+		Extensions:     s.Extensions - o.Extensions,
+		LocksValidated: s.LocksValidated - o.LocksValidated,
+		LocksSkipped:   s.LocksSkipped - o.LocksSkipped,
+		RollOvers:      s.RollOvers - o.RollOvers,
+		Reconfigs:      s.Reconfigs - o.Reconfigs,
+	}
+	for i := range s.AbortsByKind {
+		d.AbortsByKind[i] = s.AbortsByKind[i] - o.AbortsByKind[i]
+	}
+	return d
+}
+
+// Add returns s + o field-wise.
+func (s Stats) Add(o Stats) Stats {
+	d := Stats{
+		Commits:        s.Commits + o.Commits,
+		Aborts:         s.Aborts + o.Aborts,
+		Extensions:     s.Extensions + o.Extensions,
+		LocksValidated: s.LocksValidated + o.LocksValidated,
+		LocksSkipped:   s.LocksSkipped + o.LocksSkipped,
+		RollOvers:      s.RollOvers + o.RollOvers,
+		Reconfigs:      s.Reconfigs + o.Reconfigs,
+	}
+	for i := range s.AbortsByKind {
+		d.AbortsByKind[i] = s.AbortsByKind[i] + o.AbortsByKind[i]
+	}
+	return d
+}

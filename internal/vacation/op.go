@@ -1,0 +1,24 @@
+package vacation
+
+import (
+	"tinystm/internal/harness"
+	"tinystm/internal/txn"
+)
+
+// Op returns the harness operation implementing STAMP's client mix:
+// UserPct% MakeReservation, with the remainder split evenly between
+// DeleteCustomer and UpdateTables.
+func Op[T txn.Tx](sys txn.System[T], m *Manager) harness.OpFunc[T] {
+	p := m.params
+	return func(w *harness.Worker, tx T) {
+		roll := w.Rng.Intn(100)
+		switch {
+		case roll < p.UserPct:
+			sys.Atomic(tx, func(tx T) { MakeReservation(tx, m, w.Rng) })
+		case roll < p.UserPct+(100-p.UserPct)/2:
+			sys.Atomic(tx, func(tx T) { DeleteCustomer(tx, m, w.Rng) })
+		default:
+			sys.Atomic(tx, func(tx T) { UpdateTables(tx, m, w.Rng) })
+		}
+	}
+}
