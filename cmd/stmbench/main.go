@@ -32,7 +32,8 @@ func main() {
 	log.SetPrefix("stmbench: ")
 
 	var (
-		fig      = flag.String("fig", "all", "figure to reproduce: 2, 3, 4, 4r, 5, all, custom")
+		fig      = flag.String("fig", "all", "figure to reproduce: 2, 3, 4, 4r, 5, all, custom, clock")
+		clock    = flag.String("clock", "fetchinc", "commit-clock strategy for TinySTM points (fetchinc, lazy, ticket); -fig clock sweeps all three")
 		bench    = flag.String("b", "rbtree", "structure for -fig custom (list, rbtree, skiplist, hashset)")
 		size     = flag.Int("size", 4096, "initial elements for -fig custom")
 		update   = flag.Int("update", 20, "update percentage for -fig custom")
@@ -53,6 +54,11 @@ func main() {
 	}
 	sc := cliutil.Scale(*duration, *warmup, ths, *seed, *quick, *yield_)
 	sc.Repeats = *repeats
+	cs, err := core.ParseClockStrategy(*clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc.Clock = cs
 
 	emit := func(tbl harness.Table) {
 		if *csv {
@@ -79,6 +85,16 @@ func main() {
 		runFig3(sc, emit)
 		runFig4(sc, emit)
 		emit(experiments.Figure4Overwrite(sc, 256, 5).ToTable("throughput"))
+	case "clock":
+		kind, err := cliutil.ParseKind(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ip := harness.IntsetParams{Kind: kind, InitialSize: *size, UpdatePct: *update}
+		for _, d := range []core.Design{core.WriteBack, core.WriteThrough} {
+			emit(experiments.SweepClockStrategies(sc, d, defaultGeometry, ip,
+				core.AllClockStrategies).ToTable())
+		}
 	case "custom":
 		kind, err := cliutil.ParseKind(*bench)
 		if err != nil {

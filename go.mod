@@ -1,0 +1,3 @@
+module tinystm
+
+go 1.24

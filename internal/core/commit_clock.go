@@ -1,0 +1,176 @@
+package core
+
+// Commit-timestamp acquisition for the three clock strategies
+// (Config.Clock). The safety argument every strategy must satisfy: update
+// transactions serialize in commit-timestamp order, so a committer's
+// timestamp must exceed the timestamp of every conflicting transaction
+// that committed before it. FetchInc gets this for free from the atomic
+// increment; Lazy and TicketBatch re-establish it with a publication
+// ordering (advance the visible clock before releasing locks, and before
+// validating) plus, for TicketBatch, a commit-time staleness check.
+//
+// Versions-can-collide audit (the comparisons in tx.go this file's
+// strategies lean on):
+//
+//   - Load/loadSlow use `ver <= tx.end`: collisions are harmless here —
+//     a version equal to another commit's version still either fits the
+//     snapshot or triggers extension.
+//   - extend() sets end = now(): sound for all strategies because every
+//     strategy advances the visible clock to a commit's timestamp BEFORE
+//     releasing its locks, so any version a reader can observe is <= the
+//     clock it extends to (no livelock re-extending toward an
+//     unreachable version).
+//   - validate() uses exact version equality, which is collision-proof.
+//   - Commit's `ts == start+1` validation skip is the one comparison
+//     that is NOT sound under collisions: with Lazy two conflicting
+//     committers can both hold ts == start+1 and would both skip
+//     validation. commitTS therefore reports per strategy whether the
+//     skip may be used (see the proofs at skipOK below).
+
+// opBudgetIdle is the Load-counter refill when yielding is disabled: large
+// enough that the refill path is hit ~never, small enough to never
+// underflow int across refills.
+const opBudgetIdle = 1 << 30
+
+// commitTS returns the commit timestamp for the current update commit.
+// skipOK reports whether the ts == start+1 validation skip is sound under
+// the TM's clock strategy; ok == false means the clock is exhausted and
+// the caller must roll back and perform a roll-over.
+//
+// For Lazy and TicketBatch the visible clock is advanced to ts here —
+// before validation and before lock release. Both orderings matter:
+//
+//   - advance-before-release gives extension liveness (a reader that
+//     observes version ts can extend its snapshot to at least ts) and
+//     per-location version monotonicity (the next writer of the same
+//     location reads now() >= ts, so its timestamp exceeds ts);
+//   - advance-before-validate makes the TicketBatch staleness check
+//     airtight: any conflicting reader that validated its read of our
+//     write target before we acquired the lock had already advanced the
+//     clock to its own timestamp, so our check observes it.
+func (tx *Tx) commitTS() (ts uint64, skipOK bool, ok bool) {
+	tm := tx.tm
+	switch tm.clockStrat {
+	case FetchInc:
+		ts = tm.clk.fetchInc()
+		if ts >= tm.maxClock {
+			return 0, false, false
+		}
+		// Timestamps are unique and dense, and the increment linearizes
+		// commits: ts == start+1 proves no update transaction committed
+		// since our snapshot began (Section 3.2's "notable exception").
+		return ts, true, true
+
+	case Lazy:
+		ts = tm.clk.now() + 1
+		if ts >= tm.maxClock {
+			return 0, false, false
+		}
+		// Publish before validating and releasing; the conditional CAS
+		// inside advanceTo is skipped when a concurrent committer
+		// already advanced the clock — under contention most commits
+		// touch the clock line read-only, which is the point of GV5.
+		tm.clk.advanceTo(ts)
+		// Collisions: two concurrent committers can share ts, so
+		// ts == start+1 does not prove quiescence — a conflicting peer
+		// may be mid-commit at the same timestamp. Never skip.
+		return ts, false, true
+
+	case TicketBatch:
+		return tx.ticketTS()
+	}
+	panic("core: unknown clock strategy")
+}
+
+// ticketTS drains the descriptor's reserved timestamp block, refilling it
+// with one fetch-and-add per Config.ClockBatch commits.
+//
+// Soundness of the staleness check (`t <= now()` discards): suppose we
+// commit a write to x at ticket t, and a reader R validated its read of x
+// (old version) at R's own commit before we acquired x's lock. R advanced
+// the visible clock to ts_R before validating; our now() read happens
+// after we acquired x's lock, hence after R's validation, hence after R's
+// advance — so we observe now() >= ts_R and the check forces t > ts_R:
+// R correctly serializes before us. Readers that validate after we
+// acquired the lock fail validation outright.
+//
+// Soundness of keeping the ts == start+1 skip (skipOK true): the skip is
+// dangerous only against a commit M that wrote a location we read at its
+// pre-M version. Such a read happened while M did not yet hold the
+// covering lock (an owned lock routes through loadSlow, a released one
+// shows M's version), so M's check — which runs after M's last
+// acquisition — read now() after our begin and therefore saw
+// now() >= start, forcing ts_M >= start+1; ticket values are globally
+// unique, so ts_M != t == start+1, giving ts_M >= start+2 — M serializes
+// AFTER us, and our stale read of its target is consistent with that
+// order. If instead M released before our own check, its
+// advance-before-release makes our check read now() >= ts_M >= start+2
+// and t is discarded, so the skip never fires. A mutual-skip cycle (we
+// read M's write target and M reads ours, both skipping) is impossible:
+// it would need both checks to read a clock below the other's begin
+// snapshot, which monotonicity forbids.
+func (tx *Tx) ticketTS() (uint64, bool, bool) {
+	tm := tx.tm
+	// Reservations die with the clock epoch (roll-over and Reconfigure
+	// bump it while the world is frozen, so it is stable for the rest of
+	// this commit once read here): stale tickets from a previous epoch
+	// would collide with the reset clock.
+	if e := tm.clockEpoch.Load(); e != tx.ticketEpoch {
+		tx.ticketEpoch = e
+		tx.ticketNext, tx.ticketEnd = 1, 0 // empty
+	}
+	for {
+		if tx.ticketNext > tx.ticketEnd {
+			lo, hi := tm.clk.reserve(tm.clockBatch)
+			if lo >= tm.maxClock {
+				return 0, false, false // exhausted; roll-over resets r
+			}
+			if hi >= tm.maxClock {
+				hi = tm.maxClock - 1 // tickets past the threshold are unusable
+			}
+			tx.ticketNext, tx.ticketEnd = lo, hi
+		}
+		t := tx.ticketNext
+		c0 := tm.clk.now()
+		if t <= c0 {
+			// Tickets t..min(c0, end) fell behind commits that already
+			// advanced the visible clock; using one would serialize us
+			// before a transaction that physically preceded us. Discard
+			// them (never reuse) and try the rest of the block.
+			stale := tx.ticketEnd
+			if c0 < stale {
+				stale = c0
+			}
+			tx.ticketsDiscarded += stale - t + 1
+			tx.ticketNext = stale + 1
+			continue
+		}
+		tx.ticketNext = t + 1
+		tm.clk.advanceTo(t)
+		return t, true, true
+	}
+}
+
+// freshVersion issues a version for a lock word outside the commit path
+// (write-through incarnation overflow). Per-location monotonicity is
+// preserved under every strategy: the previous version of any released
+// lock was advanced into the visible clock (FetchInc, Lazy) or issued
+// from the reservation counter (TicketBatch) before it became observable.
+func (tx *Tx) freshVersion() uint64 {
+	tm := tx.tm
+	switch tm.clockStrat {
+	case FetchInc:
+		return tm.clk.fetchInc()
+	case Lazy:
+		ts := tm.clk.now() + 1
+		tm.clk.advanceTo(ts)
+		return ts
+	case TicketBatch:
+		// A single-slot reservation rather than the descriptor's batch:
+		// abort paths must not disturb commit-ordering state.
+		_, hi := tm.clk.reserve(1)
+		tm.clk.advanceTo(hi)
+		return hi
+	}
+	panic("core: unknown clock strategy")
+}

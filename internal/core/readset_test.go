@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"tinystm/internal/txn"
+)
+
+func TestDuplicateReadSuppression(t *testing.T) {
+	tm, _ := newTestTM(t, WriteBack, nil)
+	tx := tm.NewTx()
+	var a uint64
+	tm.Atomic(tx, func(tx *Tx) { a = tx.Alloc(4) })
+	before := tm.Stats()
+	tm.Atomic(tx, func(tx *Tx) {
+		for i := 0; i < 10; i++ {
+			_ = tx.Load(a) // same stripe, back-to-back
+		}
+		if got := tx.ReadSetSize(); got != 1 {
+			t.Errorf("read set after 10 identical loads = %d, want 1", got)
+		}
+		tx.Store(a+1, 1) // make it an update commit so stats flush
+	})
+	d := tm.Stats().Sub(before)
+	if d.DupReadsSkipped != 9 {
+		t.Errorf("DupReadsSkipped = %d, want 9", d.DupReadsSkipped)
+	}
+}
+
+func TestDuplicateReadSuppressionSameLockDifferentAddr(t *testing.T) {
+	// With a high shift, adjacent words share a stripe: re-reads of the
+	// neighbouring word dedup against the same (lock, version) tail.
+	tm, _ := newTestTM(t, WriteBack, func(c *Config) { c.Shifts = 8 })
+	tx := tm.NewTx()
+	var a uint64
+	tm.Atomic(tx, func(tx *Tx) { a = tx.Alloc(2) })
+	tm.Atomic(tx, func(tx *Tx) {
+		_ = tx.Load(a)
+		_ = tx.Load(a + 1)
+		if got := tx.ReadSetSize(); got != 1 {
+			t.Errorf("read set = %d, want 1 (same stripe)", got)
+		}
+	})
+}
+
+func TestNoSuppressionAcrossAlternatingStripes(t *testing.T) {
+	// a and b live on different locks; alternating loads must all be
+	// recorded (only adjacent repeats dedup — exactness over recall).
+	tm, _ := newTestTM(t, WriteBack, nil)
+	tx := tm.NewTx()
+	var a, b uint64
+	tm.Atomic(tx, func(tx *Tx) { a, b = tx.Alloc(1), tx.Alloc(1) })
+	tm.Atomic(tx, func(tx *Tx) {
+		_ = tx.Load(a)
+		_ = tx.Load(b)
+		_ = tx.Load(a)
+		_ = tx.Load(b)
+		if got := tx.ReadSetSize(); got != 4 {
+			t.Errorf("read set = %d, want 4 (no adjacent repeats)", got)
+		}
+	})
+}
+
+func TestSuppressedReadStillValidated(t *testing.T) {
+	// The surviving entry must still catch a conflicting write: t1 reads
+	// a twice (second read suppressed), t2 commits a write to a, t1's
+	// commit must fail validation exactly as without suppression.
+	tm, _ := newTestTM(t, WriteBack, nil)
+	t1, t2 := tm.NewTx(), tm.NewTx()
+	var a, b uint64
+	tm.Atomic(t1, func(tx *Tx) { a, b = tx.Alloc(1), tx.Alloc(1) })
+
+	t1.Begin(false)
+	if !attempt(func() {
+		_ = t1.Load(a)
+		_ = t1.Load(a)
+		t1.Store(b, 1)
+	}) {
+		t.Fatal("unexpected abort")
+	}
+	tm.Atomic(t2, func(tx *Tx) { tx.Store(a, 11) })
+	if t1.Commit() {
+		t.Fatal("commit should fail validation")
+	}
+	if got := t1.TxStats().AbortsByKind[txn.AbortValidate]; got != 1 {
+		t.Errorf("validate aborts = %d, want 1", got)
+	}
+}
+
+func TestSuppressionWithHierPartitions(t *testing.T) {
+	// Partitioned read sets dedup per partition tail; the hierarchical
+	// bookkeeping must stay consistent (bucket counters recorded once).
+	tm, _ := newTestTM(t, WriteBack, func(c *Config) { c.Hier = 16 })
+	tx := tm.NewTx()
+	var a uint64
+	const words = 64
+	tm.Atomic(tx, func(tx *Tx) { a = tx.Alloc(words) })
+	tm.Atomic(tx, func(tx *Tx) {
+		for pass := 0; pass < 2; pass++ {
+			for i := uint64(0); i < words; i++ {
+				_ = tx.Load(a + i)
+				_ = tx.Load(a + i) // adjacent repeat inside a partition
+			}
+		}
+		if got := tx.ReadSetSize(); got > 2*words {
+			t.Errorf("read set = %d, want <= %d", got, 2*words)
+		}
+		tx.Store(a, 1)
+	})
+}
+
+// TestSmallTxAllocationFree: the inline first segments must keep a small
+// read-write transaction off the heap entirely (steady state).
+func TestSmallTxAllocationFree(t *testing.T) {
+	tm, _ := newTestTM(t, WriteBack, nil)
+	tx := tm.NewTx()
+	var a uint64
+	tm.Atomic(tx, func(tx *Tx) { a = tx.Alloc(4) })
+	fn := func(tx *Tx) {
+		v := tx.Load(a)
+		tx.Store(a+1, v+1)
+		tx.Store(a+2, v+2)
+	}
+	// Warm up (first Begin sizes rparts).
+	tm.Atomic(tx, fn)
+	avg := testing.AllocsPerRun(200, func() { tm.Atomic(tx, fn) })
+	if avg != 0 {
+		t.Errorf("small transaction allocates %.2f objects/run, want 0", avg)
+	}
+}

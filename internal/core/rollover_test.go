@@ -7,8 +7,8 @@ import (
 )
 
 func TestClockRollOverSingleThread(t *testing.T) {
-	bothDesigns(t, func(t *testing.T, d Design) {
-		tm, _ := newTestTM(t, d, func(c *Config) { c.MaxClock = 64 })
+	designsAndClocks(t, func(t *testing.T, d Design, cs ClockStrategy) {
+		tm, _ := newTestTMClock(t, d, cs, func(c *Config) { c.MaxClock = 64 })
 		tx := tm.NewTx()
 		var a uint64
 		tm.Atomic(tx, func(tx *Tx) { a = tx.Alloc(1) })
@@ -32,8 +32,8 @@ func TestClockRollOverSingleThread(t *testing.T) {
 }
 
 func TestClockRollOverConcurrent(t *testing.T) {
-	bothDesigns(t, func(t *testing.T, d Design) {
-		tm, _ := newTestTM(t, d, func(c *Config) { c.MaxClock = 32 })
+	designsAndClocks(t, func(t *testing.T, d Design, cs ClockStrategy) {
+		tm, _ := newTestTMClock(t, d, cs, func(c *Config) { c.MaxClock = 32 })
 		runBankStress(t, tm, 4, 300)
 		if tm.Stats().RollOvers == 0 {
 			t.Error("expected roll-overs under tiny MaxClock")
@@ -93,8 +93,11 @@ func TestReconfigureRejectsBadParams(t *testing.T) {
 func TestReconfigureUnderLoad(t *testing.T) {
 	// Reconfigure repeatedly while workers hammer the bank; the invariant
 	// must survive geometry changes and transactions must keep committing.
-	bothDesigns(t, func(t *testing.T, d Design) {
-		tm, _ := newTestTM(t, d, nil)
+	// Run under every clock strategy: Reconfigure resets the clock, so
+	// TicketBatch reservation draining (the epoch bump) is load-bearing
+	// here.
+	designsAndClocks(t, func(t *testing.T, d Design, cs ClockStrategy) {
+		tm, _ := newTestTMClock(t, d, cs, nil)
 		stop := make(chan struct{})
 		var wg sync.WaitGroup
 		wg.Add(1)

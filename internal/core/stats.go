@@ -11,12 +11,14 @@ import (
 // access is atomic; an uncontended atomic add costs roughly one locked
 // instruction and the hot loops (validation) batch into locals first.
 type txStats struct {
-	commits        atomic.Uint64
-	aborts         atomic.Uint64
-	abortsByKind   [txn.NAbortKinds]atomic.Uint64
-	extensions     atomic.Uint64
-	locksValidated atomic.Uint64
-	locksSkipped   atomic.Uint64
+	commits          atomic.Uint64
+	aborts           atomic.Uint64
+	abortsByKind     [txn.NAbortKinds]atomic.Uint64
+	extensions       atomic.Uint64
+	locksValidated   atomic.Uint64
+	locksSkipped     atomic.Uint64
+	dupReadsSkipped  atomic.Uint64
+	ticketsDiscarded atomic.Uint64
 }
 
 func (s *txStats) snapshotInto(out *txn.Stats) {
@@ -28,4 +30,6 @@ func (s *txStats) snapshotInto(out *txn.Stats) {
 	out.Extensions += s.extensions.Load()
 	out.LocksValidated += s.locksValidated.Load()
 	out.LocksSkipped += s.locksSkipped.Load()
+	out.DupReadsSkipped += s.dupReadsSkipped.Load()
+	out.TicketsDiscarded += s.ticketsDiscarded.Load()
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -15,17 +16,26 @@ import (
 // clock roll-over and dynamic reconfiguration. A TM protects exactly one
 // mem.Space. All methods are safe for concurrent use.
 type TM struct {
-	space    *mem.Space
-	design   Design
-	maxClock uint64
-	backoff  bool
-	spin     int
-	yieldN   int
-	hier2    uint64
+	space      *mem.Space
+	design     Design
+	maxClock   uint64
+	backoff    bool
+	spin       int
+	yieldN     int
+	hier2      uint64
+	clockStrat ClockStrategy
+	clockBatch uint64
 
 	clk clock
-	geo atomic.Pointer[geometry]
-	fz  freezer
+	// clockEpoch invalidates per-descriptor ticket reservations: it is
+	// bumped (under the freeze barrier, so no transaction is mid-commit)
+	// whenever the clock resets, and TicketBatch commits discard batches
+	// minted in an older epoch. This is the "drain reservations at
+	// freeze" half of the strategy; the staleness check in commitTS is
+	// the steady-state half.
+	clockEpoch atomic.Uint64
+	geo        atomic.Pointer[geometry]
+	fz         freezer
 
 	pool reclaim.Pool
 
@@ -78,13 +88,15 @@ func New(cfg Config) (*TM, error) {
 		return nil, err
 	}
 	tm := &TM{
-		space:    cfg.Space,
-		design:   cfg.Design,
-		maxClock: cfg.MaxClock,
-		backoff:  cfg.BackoffOnAbort,
-		spin:     cfg.ConflictSpin,
-		yieldN:   cfg.YieldEvery,
-		hier2:    cfg.Hier2,
+		space:      cfg.Space,
+		design:     cfg.Design,
+		maxClock:   cfg.MaxClock,
+		backoff:    cfg.BackoffOnAbort,
+		spin:       cfg.ConflictSpin,
+		yieldN:     cfg.YieldEvery,
+		hier2:      cfg.Hier2,
+		clockStrat: cfg.Clock,
+		clockBatch: cfg.ClockBatch,
 	}
 	tm.fz.init()
 	tm.geo.Store(newGeometry(Params{Locks: cfg.Locks, Shifts: cfg.Shifts, Hier: cfg.Hier}, cfg.Hier2))
@@ -113,6 +125,9 @@ func (tm *TM) Params() Params { return tm.geo.Load().params() }
 // ClockValue returns the current global clock (diagnostics and tests).
 func (tm *TM) ClockValue() uint64 { return tm.clk.now() }
 
+// Clock returns the commit-clock strategy this TM runs.
+func (tm *TM) Clock() ClockStrategy { return tm.clockStrat }
+
 // NewTx registers and returns a fresh transaction descriptor. Descriptors
 // are affine to one goroutine at a time and are reused across
 // transactions.
@@ -123,6 +138,13 @@ func (tm *TM) NewTx() *Tx {
 		panic(fmt.Sprintf("core: more than %d transaction descriptors", maxSlots))
 	}
 	tx := &Tx{tm: tm, slot: len(tm.descs), rng: 0x9e3779b97f4a7c15 ^ uint64(len(tm.descs)+1)}
+	tx.ticketNext, tx.ticketEnd = 1, 0 // empty reservation block (next > end)
+	// Start the write sets on their inline segments so small transactions
+	// never touch the heap (the read set is wired in Begin, which owns
+	// the partition layout).
+	tx.wset = tx.winline[:0]
+	tx.owned = tx.oinline[:0]
+	tx.undo = tx.uinline[:0]
 	tm.descs = append(tm.descs, tx)
 	return tx
 }
@@ -196,10 +218,13 @@ func (tx *Tx) runBody(fn func(*Tx)) (ok bool) {
 func (tm *TM) rollOver() {
 	tm.fz.freeze()
 	// Double-check under the barrier: another initiator may have already
-	// reset the clock while we waited.
-	if tm.clk.now() >= tm.maxClock-1 {
+	// reset the clock while we waited. The reservation counter is checked
+	// too: under TicketBatch the initiator may have exhausted a reserved
+	// block while the visible clock still trails it.
+	if tm.clk.exhausted(tm.maxClock) {
 		tm.drainLimboAll() // old-epoch timestamps become meaningless
 		tm.clk.reset()
+		tm.clockEpoch.Add(1) // drain outstanding ticket reservations
 		tm.geo.Load().resetVersions()
 		tm.rollOvers.Add(1)
 	}
@@ -209,6 +234,11 @@ func (tm *TM) rollOver() {
 // maybeRollOverOnBegin performs clock roll-over before starting a new
 // attempt if the clock is exhausted (transactions also detect this at
 // commit time; checking at begin keeps tiny MaxClock configurations live).
+// Only the visible clock is consulted: loading the TicketBatch reservation
+// counter here would drag its contended cache line into every Begin, and
+// liveness does not need it — a commit whose block refill crosses the
+// threshold reaches rollOver through ticketTS returning !ok, and the
+// double-check there uses the dual-counter exhausted().
 func (tx *Tx) maybeRollOverOnBegin() {
 	if tx.tm.clk.now() >= tx.tm.maxClock-1 {
 		tx.tm.rollOver()
@@ -228,8 +258,13 @@ func (tx *Tx) backoffWait() {
 	tx.rng ^= tx.rng << 17
 	spins := tx.rng % (uint64(1) << shift)
 	for i := uint64(0); i < spins; i++ {
-		// Busy wait; on a single-CPU host the scheduler preempts us.
-		_ = i
+		// Busy wait, but yield periodically: on a single-core host an
+		// unbroken spin burns the whole scheduler slice while the
+		// conflicting transaction waits to run (same pattern as
+		// spinUnlocked).
+		if i&255 == 255 {
+			runtime.Gosched()
+		}
 	}
 }
 
@@ -248,6 +283,7 @@ func (tm *TM) Reconfigure(p Params) error {
 	}
 	if err := (Config{Space: tm.space, Locks: p.Locks, Shifts: p.Shifts,
 		Hier: p.Hier, Hier2: hier2, Design: tm.design,
+		Clock: tm.clockStrat, ClockBatch: tm.clockBatch,
 		MaxClock: tm.maxClock}).validate(); err != nil {
 		return err
 	}
@@ -255,6 +291,7 @@ func (tm *TM) Reconfigure(p Params) error {
 	tm.drainLimboAll()
 	tm.geo.Store(newGeometry(p, hier2))
 	tm.clk.reset()
+	tm.clockEpoch.Add(1) // drain outstanding ticket reservations
 	tm.reconfigs.Add(1)
 	tm.fz.unfreeze()
 	return nil

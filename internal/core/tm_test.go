@@ -47,6 +47,39 @@ func bothDesigns(t *testing.T, f func(t *testing.T, d Design)) {
 	}
 }
 
+func allClockStrategies(t *testing.T, f func(t *testing.T, cs ClockStrategy)) {
+	t.Helper()
+	for _, cs := range AllClockStrategies {
+		cs := cs
+		t.Run(cs.String(), func(t *testing.T) { f(t, cs) })
+	}
+}
+
+// designsAndClocks runs f over the full design x clock-strategy matrix:
+// the table-driven harness for the suites that must hold under every
+// commit-clock strategy. Build TMs inside f with newTestTMClock so the
+// strategy is applied by construction (passing cs to newTestTM by hand is
+// easy to forget and fails silently — three subtests all running the
+// default clock).
+func designsAndClocks(t *testing.T, f func(t *testing.T, d Design, cs ClockStrategy)) {
+	t.Helper()
+	bothDesigns(t, func(t *testing.T, d Design) {
+		allClockStrategies(t, func(t *testing.T, cs ClockStrategy) { f(t, d, cs) })
+	})
+}
+
+// newTestTMClock is newTestTM with the clock strategy wired in before the
+// caller's overrides run.
+func newTestTMClock(t testing.TB, d Design, cs ClockStrategy, over func(*Config)) (*TM, *mem.Space) {
+	t.Helper()
+	return newTestTM(t, d, func(c *Config) {
+		c.Clock = cs
+		if over != nil {
+			over(c)
+		}
+	})
+}
+
 func TestConfigValidation(t *testing.T) {
 	sp := mem.NewSpace(16)
 	cases := []struct {

@@ -76,9 +76,11 @@ type Tx struct {
 	verShift uint
 
 	// Cooperative-yield state (Config.YieldEvery): simulates multi-core
-	// interleaving on few-core hosts.
+	// interleaving on few-core hosts. opBudget counts DOWN so the Load
+	// fast path pays one decrement-and-test instead of an enabled-check
+	// plus a counter compare; loadTick (the cold half) refills it.
 	yieldEvery int
-	opCount    int
+	opBudget   int
 
 	start uint64 // snapshot validity range [start, end]
 	end   uint64
@@ -106,6 +108,20 @@ type Tx struct {
 	allocs []allocRec
 	frees  []allocRec
 
+	// TicketBatch state: the drain position of the reserved timestamp
+	// block — the INCLUSIVE interval [ticketNext, ticketEnd], empty when
+	// ticketNext > ticketEnd — and the clock epoch it was minted in
+	// (stale epochs — roll-over, Reconfigure — void the block).
+	ticketNext  uint64
+	ticketEnd   uint64
+	ticketEpoch uint64
+
+	// Hot-path counters batched into plain fields (the owning goroutine
+	// is the only writer during an attempt) and flushed into the atomic
+	// stats at commit/rollback.
+	dupReads         uint64
+	ticketsDiscarded uint64
+
 	attempts int // retries of the current atomic block (for backoff)
 	rng      uint64
 
@@ -121,6 +137,16 @@ type Tx struct {
 	lastCommitTS uint64
 
 	stats txStats
+
+	// Inline first segments for the read/write sets: small transactions
+	// stay allocation-free because the initial slice headers point into
+	// the descriptor itself; append falls back to the heap only when a
+	// set outgrows its segment (and the grown backing is then reused for
+	// the descriptor's lifetime).
+	winline [6]wsetEntry
+	oinline [6]lockRec
+	uinline [6]undoEntry
+	rinline [12]rsetEntry
 }
 
 // mask256 is a 256-bit mask for the read/write masks of Section 3.2.
@@ -155,6 +181,11 @@ func (tx *Tx) Begin(readOnly bool) {
 		tx.verShift = 1 + incBits
 	}
 	tx.yieldEvery = tx.tm.yieldN
+	if tx.yieldEvery > 0 {
+		tx.opBudget = tx.yieldEvery
+	} else {
+		tx.opBudget = opBudgetIdle
+	}
 	tx.inTx = true
 	tx.ro = readOnly
 	tx.start = tx.tm.clk.now()
@@ -175,6 +206,9 @@ func (tx *Tx) Begin(readOnly bool) {
 	}
 	for i := range tx.rparts {
 		tx.rparts[i] = tx.rparts[i][:0]
+	}
+	if tx.rparts[0] == nil {
+		tx.rparts[0] = tx.rinline[:0]
 	}
 	tx.wset = tx.wset[:0]
 	tx.owned = tx.owned[:0]
@@ -242,9 +276,24 @@ func (tx *Tx) rollback(kind txn.AbortKind) {
 	}
 	tx.stats.aborts.Add(1)
 	tx.stats.abortsByKind[kind].Add(1)
+	tx.flushHotCounters()
 	tx.inTx = false
 	tx.startEpoch.Store(0)
 	tx.tm.fz.exit()
+}
+
+// flushHotCounters moves the attempt's batched plain counters into the
+// atomic stats (one atomic add per counter per attempt instead of one per
+// event on the hot path).
+func (tx *Tx) flushHotCounters() {
+	if tx.dupReads != 0 {
+		tx.stats.dupReadsSkipped.Add(tx.dupReads)
+		tx.dupReads = 0
+	}
+	if tx.ticketsDiscarded != 0 {
+		tx.stats.ticketsDiscarded.Add(tx.ticketsDiscarded)
+		tx.ticketsDiscarded = 0
+	}
 }
 
 // releaseWTAborted releases one write-through lock after an abort,
@@ -254,7 +303,7 @@ func (tx *Tx) releaseWTAborted(rec lockRec) {
 	prev := rec.prevLock
 	inc := incarnationWT(prev) + 1
 	if inc > incMask {
-		ver := tx.tm.clk.fetchInc()
+		ver := tx.freshVersion()
 		if ver >= tx.tm.maxClock {
 			// The fresh version itself overflowed; the next transaction
 			// to start or commit performs roll-over. Clamp so the word
@@ -280,12 +329,12 @@ func (tx *Tx) Load(addr uint64) uint64 {
 	if !tx.inTx {
 		panic("core: Load outside transaction")
 	}
-	if tx.yieldEvery != 0 {
-		tx.opCount++
-		if tx.opCount >= tx.yieldEvery {
-			tx.opCount = 0
-			runtime.Gosched()
-		}
+	// One decrement-and-test replaces the old yieldEvery-enabled branch
+	// plus counter compare: with yielding disabled the budget starts
+	// effectively infinite and the cold refill below is never taken.
+	tx.opBudget--
+	if tx.opBudget <= 0 {
+		tx.loadTick()
 	}
 	a := mem.Addr(addr)
 	g := tx.geo
@@ -304,6 +353,18 @@ func (tx *Tx) Load(addr uint64) uint64 {
 	return tx.loadSlow(a, li)
 }
 
+// loadTick is the cold half of the per-load yield bookkeeping
+// (Config.YieldEvery): refill the countdown and, when yielding is
+// enabled, hand the processor over to simulate fine-grained interleaving.
+func (tx *Tx) loadTick() {
+	if tx.yieldEvery > 0 {
+		tx.opBudget = tx.yieldEvery
+		runtime.Gosched()
+		return
+	}
+	tx.opBudget = opBudgetIdle
+}
+
 // recordRead appends one read-set entry (no-op for read-only attempts).
 func (tx *Tx) recordRead(addr uint64, li uint64, ver uint64) {
 	if tx.ro {
@@ -313,7 +374,18 @@ func (tx *Tx) recordRead(addr uint64, li uint64, ver uint64) {
 	if tx.geo.hierEnabled() {
 		b = tx.hierRecordRead(addr)
 	}
-	tx.rparts[b] = append(tx.rparts[b], rsetEntry{lockIdx: li, version: ver})
+	part := tx.rparts[b]
+	// Duplicate-read suppression: loop-heavy transactions re-read the
+	// same stripe back-to-back (list traversals revisiting links, hot
+	// fields read in every iteration); a second identical (lock, version)
+	// entry only inflates validation cost. Comparing the partition tail
+	// is exact for adjacent repeats and never unsound: dropping a
+	// duplicate leaves the entry validation still checks.
+	if n := len(part); n > 0 && part[n-1].lockIdx == li && part[n-1].version == ver {
+		tx.dupReads++
+		return
+	}
+	tx.rparts[b] = append(part, rsetEntry{lockIdx: li, version: ver})
 }
 
 // loadSlow handles the uncommon read cases: a lock owned by this or
@@ -629,18 +701,19 @@ func (tx *Tx) Commit() bool {
 		return true
 	}
 
-	ts := tx.tm.clk.fetchInc()
-	if ts >= tx.tm.maxClock {
+	ts, skipOK, ok := tx.commitTS()
+	if !ok {
 		// Clock exhausted: abort, then perform roll-over at the barrier.
 		tx.rollback(txn.AbortFrozen)
 		tx.tm.rollOver()
 		return false
 	}
 
-	// If ts == start+1 no transaction committed since our snapshot
-	// began, so the read set cannot have changed (paper Section 3.2's
-	// "notable exception").
-	if ts != tx.start+1 {
+	// If ts == start+1 — and the clock strategy guarantees that this
+	// proves quiescence (see commitTS) — no transaction committed since
+	// our snapshot began, so the read set cannot have changed (paper
+	// Section 3.2's "notable exception").
+	if !skipOK || ts != tx.start+1 {
 		if !tx.validate() {
 			tx.rollback(txn.AbortValidate)
 			return false
@@ -685,6 +758,7 @@ func (tx *Tx) Commit() bool {
 
 func (tx *Tx) finishCommit() {
 	tx.stats.commits.Add(1)
+	tx.flushHotCounters()
 	tx.inTx = false
 	tx.startEpoch.Store(0)
 	tx.tm.fz.exit()

@@ -70,6 +70,10 @@ type Scale struct {
 	// measurements, applied here to every figure. Zero or one means a
 	// single measurement.
 	Repeats int
+	// Clock selects the TinySTM commit-clock strategy for every measured
+	// point (see core.ClockStrategy). The zero value is the paper's
+	// fetch-and-increment baseline; TL2 points ignore it.
+	Clock core.ClockStrategy
 }
 
 // PaperScale approximates the paper's measurement effort.
@@ -122,7 +126,7 @@ func newCoreTM(sc Scale, d core.Design, p core.Params) *core.TM {
 	sp := mem.NewSpace(sc.SpaceWords)
 	return core.MustNew(core.Config{
 		Space: sp, Locks: p.Locks, Shifts: p.Shifts, Hier: p.Hier, Design: d,
-		YieldEvery: sc.YieldEvery,
+		YieldEvery: sc.YieldEvery, Clock: sc.Clock,
 	})
 }
 

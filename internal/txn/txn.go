@@ -105,6 +105,14 @@ type Stats struct {
 	// fast path (Figure 12's two series).
 	LocksValidated uint64
 	LocksSkipped   uint64
+	// DupReadsSkipped counts read-set appends suppressed because the
+	// stripe matched the partition's newest entry (duplicate-read
+	// suppression; TinySTM only).
+	DupReadsSkipped uint64
+	// TicketsDiscarded counts reserved commit timestamps the TicketBatch
+	// clock strategy dropped because they fell behind the visible clock
+	// (TinySTM only; zero under the other strategies).
+	TicketsDiscarded uint64
 	// RollOvers counts clock roll-over events; Reconfigs counts dynamic
 	// parameter changes.
 	RollOvers uint64
@@ -114,13 +122,15 @@ type Stats struct {
 // Sub returns s - o field-wise; used to compute per-interval deltas.
 func (s Stats) Sub(o Stats) Stats {
 	d := Stats{
-		Commits:        s.Commits - o.Commits,
-		Aborts:         s.Aborts - o.Aborts,
-		Extensions:     s.Extensions - o.Extensions,
-		LocksValidated: s.LocksValidated - o.LocksValidated,
-		LocksSkipped:   s.LocksSkipped - o.LocksSkipped,
-		RollOvers:      s.RollOvers - o.RollOvers,
-		Reconfigs:      s.Reconfigs - o.Reconfigs,
+		Commits:          s.Commits - o.Commits,
+		Aborts:           s.Aborts - o.Aborts,
+		Extensions:       s.Extensions - o.Extensions,
+		LocksValidated:   s.LocksValidated - o.LocksValidated,
+		LocksSkipped:     s.LocksSkipped - o.LocksSkipped,
+		DupReadsSkipped:  s.DupReadsSkipped - o.DupReadsSkipped,
+		TicketsDiscarded: s.TicketsDiscarded - o.TicketsDiscarded,
+		RollOvers:        s.RollOvers - o.RollOvers,
+		Reconfigs:        s.Reconfigs - o.Reconfigs,
 	}
 	for i := range s.AbortsByKind {
 		d.AbortsByKind[i] = s.AbortsByKind[i] - o.AbortsByKind[i]
@@ -131,13 +141,15 @@ func (s Stats) Sub(o Stats) Stats {
 // Add returns s + o field-wise.
 func (s Stats) Add(o Stats) Stats {
 	d := Stats{
-		Commits:        s.Commits + o.Commits,
-		Aborts:         s.Aborts + o.Aborts,
-		Extensions:     s.Extensions + o.Extensions,
-		LocksValidated: s.LocksValidated + o.LocksValidated,
-		LocksSkipped:   s.LocksSkipped + o.LocksSkipped,
-		RollOvers:      s.RollOvers + o.RollOvers,
-		Reconfigs:      s.Reconfigs + o.Reconfigs,
+		Commits:          s.Commits + o.Commits,
+		Aborts:           s.Aborts + o.Aborts,
+		Extensions:       s.Extensions + o.Extensions,
+		LocksValidated:   s.LocksValidated + o.LocksValidated,
+		LocksSkipped:     s.LocksSkipped + o.LocksSkipped,
+		DupReadsSkipped:  s.DupReadsSkipped + o.DupReadsSkipped,
+		TicketsDiscarded: s.TicketsDiscarded + o.TicketsDiscarded,
+		RollOvers:        s.RollOvers + o.RollOvers,
+		Reconfigs:        s.Reconfigs + o.Reconfigs,
 	}
 	for i := range s.AbortsByKind {
 		d.AbortsByKind[i] = s.AbortsByKind[i] + o.AbortsByKind[i]
