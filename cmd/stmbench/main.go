@@ -21,6 +21,7 @@ import (
 	"tinystm/internal/core"
 	"tinystm/internal/experiments"
 	"tinystm/internal/harness"
+	"tinystm/internal/tuning"
 )
 
 // defaultGeometry matches the fixed configuration the non-sweep figures
@@ -45,6 +46,9 @@ func main() {
 		yield_   = flag.Int("yield", 0, "yield after every N loads (multi-core interleaving simulation; 0 = off)")
 		repeats  = flag.Int("repeats", 1, "measurements per point (maximum kept)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		autotune = flag.Bool("autotune", false, "run the online auto-tuning runtime against a live workload (uses -b, -size, -update, -threads, -duration; overrides -fig)")
+		periods  = flag.Int("periods", 30, "tuning periods for -autotune")
+		shift    = flag.Int("shift", 0, "flip the workload phase every N tuning periods for -autotune (0 = half the run)")
 	)
 	flag.Parse()
 
@@ -67,6 +71,15 @@ func main() {
 			tbl.Render(os.Stdout)
 		}
 		fmt.Println()
+	}
+
+	if *autotune {
+		kind, err := cliutil.ParseKind(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runAutotune(sc, kind, *size, *update, *periods, *shift, emit)
+		return
 	}
 
 	switch *fig {
@@ -116,6 +129,43 @@ func main() {
 		emit(tbl)
 	default:
 		log.Fatalf("unknown -fig %q", *fig)
+	}
+}
+
+// runAutotune drives the online tuning runtime against a live workload
+// starting from the paper's deliberately bad (2^8, 0, 1) configuration,
+// printing one trace line per tuning period as the controller makes its
+// moves; a mid-run phase shift exercises re-adaptation. It ends with the
+// autotuned-vs-static comparison table.
+func runAutotune(sc experiments.Scale, kind harness.Kind, size, update, periods, shift int,
+	emit func(harness.Table)) {
+	ac := experiments.DefaultAutotuneConfig(sc, kind)
+	calm := harness.IntsetParams{Kind: kind, InitialSize: size, UpdatePct: update}
+	hot := calm
+	hot.UpdatePct = min(update+60, 100)
+	hot.Range = uint64(size) / 4 // working-set shrink: conflicts concentrate
+	ac.Phases = []harness.IntsetParams{calm, hot}
+	ac.Periods = periods
+	if shift > 0 {
+		ac.ShiftEvery = shift
+	} else {
+		ac.ShiftEvery = periods / 2
+	}
+	ac.OnEvent = func(ev tuning.Event) {
+		fmt.Println(ev)
+		if ac.ShiftEvery > 0 && (ev.Period+1)%ac.ShiftEvery == 0 && ev.Period+1 < ac.Periods {
+			fmt.Println("--- workload phase shift ---")
+		}
+	}
+	fmt.Printf("autotune: %v, %d elements, %d%% updates, %d threads, period %v, start %v\n",
+		kind, size, update, ac.Threads, ac.Period, ac.Start)
+	r := experiments.AutotuneSweep(sc, ac)
+	fmt.Println()
+	emit(r.TraceTable("autotune trace"))
+	emit(r.ComparisonTable())
+	for phase, bs := range r.BestStatic {
+		fmt.Printf("phase %d: autotuned best %.0f txs/s vs. best static %v at %.0f txs/s\n",
+			phase, r.PhaseBest[phase], bs.Params, bs.Throughput)
 	}
 }
 

@@ -1,10 +1,15 @@
-// Autotune: the paper's dynamic tuning loop embedded in an application.
+// Autotune: the paper's dynamic tuning running *inside* the system.
 //
-// A linked-list workload runs continuously while the hill-climbing tuner
-// reconfigures the live TM between one-period measurements, starting from
-// a deliberately bad configuration (2^8 locks, as in Section 4.3). The
-// program prints one line per tuning period showing the configuration
-// path and the throughput — a miniature Figure 11. Run with:
+// A linked-list workload runs continuously while tuning.Runtime — a
+// background controller goroutine — meters live commit throughput from the
+// TM's O(1) aggregate counters, feeds the hill-climbing tuner one
+// measurement per period (max of 3 samples, Section 4.3), and reconfigures
+// the live TM on its own. The application only starts the runtime; no
+// manual measurement loop remains. Halfway through, the workload flips
+// phase (update rate up, working set down) and the controller re-adapts.
+//
+// The program prints one line per tuning period — a miniature Figure 11
+// with a regime change in the middle. Run with:
 //
 //	go run ./examples/autotune
 package main
@@ -22,9 +27,10 @@ import (
 func main() {
 	const (
 		threads = 4
-		periods = 15
+		periods = 16
 		period  = 100 * time.Millisecond
 	)
+	// Start from a deliberately bad configuration (2^8 locks, §4.3).
 	start := core.Params{Locks: 1 << 8, Shifts: 0, Hier: 1}
 
 	space := mem.NewSpace(1 << 20)
@@ -32,34 +38,36 @@ func main() {
 		Space: space, Locks: start.Locks, Shifts: start.Shifts, Hier: start.Hier,
 	})
 
-	ip := harness.IntsetParams{Kind: harness.KindList, InitialSize: 1024, UpdatePct: 20}
-	set := harness.BuildIntset[*core.Tx](tm, ip, 7)
-	workers := harness.StartWorkers[*core.Tx](tm, threads,
-		7, harness.IntsetOp[*core.Tx](tm, set, ip))
+	// Two workload phases over one shared list: a read-mostly mix and a
+	// hot update-heavy mix with a quarter of the working set.
+	calm := harness.IntsetParams{Kind: harness.KindList, InitialSize: 1024, UpdatePct: 20}
+	hot := calm
+	hot.UpdatePct = 80
+	hot.Range = 512
+	set := harness.BuildIntset[*core.Tx](tm, calm, 7)
+	phased := harness.IntsetPhases[*core.Tx](tm, set, calm, hot)
+	workers := harness.StartWorkers[*core.Tx](tm, threads, 7, phased.Op())
 	defer workers.Stop()
 
-	tuner := tuning.New(tuning.Config{Initial: start, Seed: 7})
-	meter := harness.NewMeter(tm.Stats)
-
-	fmt.Printf("%-4s %-28s %-12s %s\n", "cfg", "params", "txs/s", "move")
+	// The runtime is the whole tuning loop: start it and watch the trace.
+	trace := make(chan tuning.Event, periods+8)
+	rt := tuning.NewRuntime(tm, tuning.RuntimeConfig{
+		Tuner:  tuning.Config{Initial: start, Seed: 7},
+		Period: period,
+		Trace:  trace,
+	})
+	if err := rt.Start(); err != nil {
+		panic(err)
+	}
 	for i := 0; i < periods; i++ {
-		cur := tuner.Current()
-		// Three samples per configuration, keep the maximum (§4.3).
-		maxTp := 0.0
-		for s := 0; s < 3; s++ {
-			time.Sleep(period)
-			if tp, _ := meter.Sample(); tp > maxTp {
-				maxTp = tp
-			}
-		}
-		next, move := tuner.Step(maxTp)
-		fmt.Printf("%-4d %-28v %-12.0f %v\n", i, cur, maxTp, move)
-		if next != cur {
-			if err := tm.Reconfigure(next); err != nil {
-				panic(err)
-			}
+		fmt.Println(<-trace)
+		if i+1 == periods/2 {
+			phased.SetPhase(1)
+			fmt.Println("--- workload phase shift: 80% updates, half range ---")
 		}
 	}
-	best, tp := tuner.Best()
+	rt.Stop()
+
+	best, tp := rt.Best()
 	fmt.Printf("\nbest configuration: %v at %.0f txs/s (started at %v)\n", best, tp, start)
 }

@@ -1,0 +1,82 @@
+package core
+
+import "testing"
+
+// The first retries must draw from a usefully large window: a bare
+// 2^attempts window gives [0,1] at attempts=1, so hot conflicts re-collide
+// immediately (the regression this pins).
+func TestBackoffWindowFloorAndCap(t *testing.T) {
+	cases := []struct {
+		attempts int
+		want     uint64
+	}{
+		{1, 1 << 6},
+		{2, 1 << 7},
+		{5, 1 << 10},
+		{11, 1 << 16},
+		{12, 1 << 16}, // capped
+		{100, 1 << 16},
+	}
+	for _, c := range cases {
+		if got := backoffWindow(c.attempts); got != c.want {
+			t.Errorf("backoffWindow(%d) = %d, want %d", c.attempts, got, c.want)
+		}
+	}
+	for a := 1; a < 20; a++ {
+		if backoffWindow(a+1) < backoffWindow(a) {
+			t.Errorf("window not monotone at attempts=%d", a)
+		}
+	}
+}
+
+// The drawn spin counts on the first retry must actually spread over the
+// window: mean well above zero (a degenerate [0,1] window has mean 0.5)
+// and every draw inside [0, 64).
+func TestBackoffSpinDistributionFirstRetry(t *testing.T) {
+	tm, _ := newTestTM(t, WriteBack, nil)
+	tx := tm.NewTx()
+	tx.attempts = 1
+	const n = 4096
+	var sum, max uint64
+	for i := 0; i < n; i++ {
+		s := tx.backoffSpins()
+		sum += s
+		if s > max {
+			max = s
+		}
+		if s >= backoffWindow(1) {
+			t.Fatalf("draw %d outside window [0,%d)", s, backoffWindow(1))
+		}
+	}
+	mean := float64(sum) / n
+	// Uniform over [0,64) has mean 31.5; anything below 20 indicates the
+	// window collapsed back toward the old [0,1] behaviour.
+	if mean < 20 {
+		t.Errorf("mean spin count %.1f too small for a [0,%d) window", mean, backoffWindow(1))
+	}
+	if max < backoffWindow(1)/2 {
+		t.Errorf("max spin count %d never reached the upper half of the window", max)
+	}
+}
+
+// Later retries must keep growing the window up to the cap.
+func TestBackoffSpinDistributionGrows(t *testing.T) {
+	tm, _ := newTestTM(t, WriteBack, nil)
+	tx := tm.NewTx()
+	meanAt := func(attempts int) float64 {
+		tx.attempts = attempts
+		var sum uint64
+		const n = 4096
+		for i := 0; i < n; i++ {
+			sum += tx.backoffSpins()
+		}
+		return float64(sum) / n
+	}
+	m1, m5, m20 := meanAt(1), meanAt(5), meanAt(20)
+	if !(m1 < m5 && m5 < m20) {
+		t.Errorf("means not increasing: attempts=1 %.0f, 5 %.0f, 20 %.0f", m1, m5, m20)
+	}
+	if m20 > float64(uint64(1)<<16) {
+		t.Errorf("mean %.0f exceeds the 2^16 cap window", m20)
+	}
+}

@@ -99,10 +99,19 @@ func TestReconfigureUnderLoad(t *testing.T) {
 	designsAndClocks(t, func(t *testing.T, d Design, cs ClockStrategy) {
 		tm, _ := newTestTMClock(t, d, cs, nil)
 		stop := make(chan struct{})
+		// ready closes after the first reconfiguration: on a one-core host
+		// the whole iteration-bounded stress can otherwise finish before
+		// the reconfigure goroutine is ever scheduled, leaving Reconfigs
+		// at zero and the test vacuous. The deferred Once also fires on
+		// the error path, so a failed first Reconfigure reports instead of
+		// hanging the main goroutine on <-ready.
+		ready := make(chan struct{})
+		var readyOnce sync.Once
 		var wg sync.WaitGroup
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer readyOnce.Do(func() { close(ready) })
 			params := []Params{
 				{Locks: 1 << 6, Shifts: 0, Hier: 1},
 				{Locks: 1 << 12, Shifts: 2, Hier: 4},
@@ -120,9 +129,13 @@ func TestReconfigureUnderLoad(t *testing.T) {
 					t.Errorf("Reconfigure: %v", err)
 					return
 				}
+				if i == 0 {
+					readyOnce.Do(func() { close(ready) })
+				}
 				i++
 			}
 		}()
+		<-ready
 		runBankStress(t, tm, 3, 300)
 		close(stop)
 		wg.Wait()

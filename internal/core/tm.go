@@ -26,6 +26,20 @@ type TM struct {
 	clockStrat ClockStrategy
 	clockBatch uint64
 
+	// baseCfg is the defaulted construction-time configuration. configFor
+	// substitutes the tunable triple into a copy, so Reconfigure validates
+	// through exactly the field set New saw and cannot drift as Config
+	// grows.
+	baseCfg Config
+
+	// aggCommits/aggAborts are the O(1) aggregate counters: descriptors
+	// flush into them once per commit/rollback, so samplers (the tuning
+	// runtime's throughput meter) never take tm.mu or scan descriptors.
+	// They intentionally duplicate the per-descriptor stats: Stats() keeps
+	// its full snapshot path, CommitAbortCounts is the lock-free fast one.
+	aggCommits atomic.Uint64
+	aggAborts  atomic.Uint64
+
 	clk clock
 	// clockEpoch invalidates per-descriptor ticket reservations: it is
 	// bumped (under the freeze barrier, so no transaction is mid-commit)
@@ -39,8 +53,16 @@ type TM struct {
 
 	pool reclaim.Pool
 
-	mu        sync.Mutex // descriptor registry
-	descs     []*Tx
+	mu    sync.Mutex // descriptor registry
+	descs []*Tx
+	// free holds released descriptors for reuse: long-running servers that
+	// keep spawning worker goroutines would otherwise exhaust maxSlots with
+	// no way to recover. Guarded by mu.
+	free []*Tx
+	// retired accumulates the counters of released descriptors so Stats()
+	// survives descriptor recycling (a reused descriptor restarts its
+	// counters from zero). Guarded by mu.
+	retired   txn.Stats
 	rollOvers atomic.Uint64
 	reconfigs atomic.Uint64
 }
@@ -97,6 +119,7 @@ func New(cfg Config) (*TM, error) {
 		hier2:      cfg.Hier2,
 		clockStrat: cfg.Clock,
 		clockBatch: cfg.ClockBatch,
+		baseCfg:    cfg,
 	}
 	tm.fz.init()
 	tm.geo.Store(newGeometry(Params{Locks: cfg.Locks, Shifts: cfg.Shifts, Hier: cfg.Hier}, cfg.Hier2))
@@ -130,10 +153,17 @@ func (tm *TM) Clock() ClockStrategy { return tm.clockStrat }
 
 // NewTx registers and returns a fresh transaction descriptor. Descriptors
 // are affine to one goroutine at a time and are reused across
-// transactions.
+// transactions; goroutines that exit for good should hand theirs back with
+// Release so the slot can be recycled.
 func (tm *TM) NewTx() *Tx {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
+	if n := len(tm.free); n > 0 {
+		tx := tm.free[n-1]
+		tm.free = tm.free[:n-1]
+		tx.released = false
+		return tx
+	}
 	if len(tm.descs) >= maxSlots {
 		panic(fmt.Sprintf("core: more than %d transaction descriptors", maxSlots))
 	}
@@ -147,6 +177,26 @@ func (tm *TM) NewTx() *Tx {
 	tx.undo = tx.uinline[:0]
 	tm.descs = append(tm.descs, tx)
 	return tx
+}
+
+// Release returns a descriptor to its TM for reuse by a later NewTx. The
+// descriptor must not be inside a transaction and must not be used again
+// by the caller. Its counters are folded into the TM-level retired
+// aggregate first, so Stats() loses nothing to recycling.
+func (tx *Tx) Release() {
+	if tx.inTx {
+		panic("core: Release of descriptor inside a transaction")
+	}
+	tm := tx.tm
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	if tx.released {
+		panic("core: descriptor released twice")
+	}
+	tx.stats.snapshotInto(&tm.retired)
+	tx.stats.reset()
+	tx.released = true
+	tm.free = append(tm.free, tx)
 }
 
 // Atomic runs fn as an update-capable transaction, retrying on conflict
@@ -245,18 +295,34 @@ func (tx *Tx) maybeRollOverOnBegin() {
 	}
 }
 
+// backoffWindow returns the spin-window size for the given retry count:
+// 2^min(5+attempts, 16) iterations. Without the +5 floor the first retry
+// draws from [0,1] and the second from [0,3] — essentially no backoff at
+// all, so hot conflicts re-collide immediately; the floor makes the first
+// window [0,64) while the cap keeps the worst case at 2^16.
+func backoffWindow(attempts int) uint64 {
+	shift := 5 + attempts
+	if shift > 16 {
+		shift = 16
+	}
+	return uint64(1) << shift
+}
+
+// backoffSpins draws the next randomized spin count from the descriptor's
+// private xorshift state (split from backoffWait so tests can observe the
+// distribution without spinning).
+func (tx *Tx) backoffSpins() uint64 {
+	tx.rng ^= tx.rng << 13
+	tx.rng ^= tx.rng >> 7
+	tx.rng ^= tx.rng << 17
+	return tx.rng % backoffWindow(tx.attempts)
+}
+
 // backoffWait performs bounded randomized exponential backoff using the
 // descriptor's private xorshift state. Only active with
 // Config.BackoffOnAbort.
 func (tx *Tx) backoffWait() {
-	shift := tx.attempts
-	if shift > 16 {
-		shift = 16
-	}
-	tx.rng ^= tx.rng << 13
-	tx.rng ^= tx.rng >> 7
-	tx.rng ^= tx.rng << 17
-	spins := tx.rng % (uint64(1) << shift)
+	spins := tx.backoffSpins()
 	for i := uint64(0); i < spins; i++ {
 		// Busy wait, but yield periodically: on a single-core host an
 		// unbroken spin burns the whole scheduler slice while the
@@ -274,19 +340,11 @@ func (tx *Tx) backoffWait() {
 // (all versions restart from zero), and resumes. In-flight transactions
 // abort and retry under the new geometry.
 func (tm *TM) Reconfigure(p Params) error {
-	hier2 := tm.hier2
-	if hier2 > p.Hier {
-		// The static second level cannot exceed the (tunable) first
-		// level; clamp rather than reject so the tuner may shrink h
-		// freely.
-		hier2 = p.Hier
-	}
-	if err := (Config{Space: tm.space, Locks: p.Locks, Shifts: p.Shifts,
-		Hier: p.Hier, Hier2: hier2, Design: tm.design,
-		Clock: tm.clockStrat, ClockBatch: tm.clockBatch,
-		MaxClock: tm.maxClock}).validate(); err != nil {
+	cfg := tm.configFor(p)
+	if err := cfg.validate(); err != nil {
 		return err
 	}
+	hier2 := cfg.Hier2
 	tm.fz.freeze()
 	tm.drainLimboAll()
 	tm.geo.Store(newGeometry(p, hier2))
@@ -297,18 +355,53 @@ func (tm *TM) Reconfigure(p Params) error {
 	return nil
 }
 
-// Stats sums commit/abort/validation counters across all descriptors.
+// configFor returns the TM's construction-time configuration with the
+// tunable triple replaced by p. The static second hierarchy level is
+// clamped to the new h (it cannot exceed the tunable first level; clamping
+// rather than rejecting lets the tuner shrink h freely). Both New and
+// Reconfigure validate through this one Config value.
+func (tm *TM) configFor(p Params) Config {
+	cfg := tm.baseCfg
+	cfg.Locks, cfg.Shifts, cfg.Hier = p.Locks, p.Shifts, p.Hier
+	if cfg.Hier2 > p.Hier {
+		cfg.Hier2 = p.Hier
+	}
+	return cfg
+}
+
+// Stats sums commit/abort/validation counters across all descriptors plus
+// the retired aggregate of released ones. This is the full snapshot path;
+// samplers on a period cadence should prefer CommitAbortCounts, which
+// reads two atomics instead of locking the registry and scanning.
 func (tm *TM) Stats() txn.Stats {
-	var s txn.Stats
 	tm.mu.Lock()
-	descs := tm.descs
-	tm.mu.Unlock()
-	for _, tx := range descs {
+	// The scan stays under mu so a concurrent Release cannot move counters
+	// into retired after we copied it but before we reach the descriptor
+	// (which would make successive snapshots non-monotonic).
+	s := tm.retired
+	for _, tx := range tm.descs {
 		tx.stats.snapshotInto(&s)
 	}
+	tm.mu.Unlock()
 	s.RollOvers = tm.rollOvers.Load()
 	s.Reconfigs = tm.reconfigs.Load()
 	return s
+}
+
+// CommitAbortCounts returns the aggregate commit and abort counters. O(1),
+// lock-free, and safe on any goroutine: this is the sampler the tuning
+// runtime polls every period without perturbing the transaction hot path.
+func (tm *TM) CommitAbortCounts() (commits, aborts uint64) {
+	return tm.aggCommits.Load(), tm.aggAborts.Load()
+}
+
+// DescriptorCounts reports how many descriptors have been minted over the
+// TM's lifetime and how many of those currently sit on the free list
+// (diagnostics; leak tests).
+func (tm *TM) DescriptorCounts() (minted, free int) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return len(tm.descs), len(tm.free)
 }
 
 // Frozen reports whether the TM is currently at a barrier (tests).

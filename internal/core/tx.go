@@ -69,6 +69,9 @@ type Tx struct {
 	inTx   bool
 	ro     bool // read-only attempt: no read set, abort instead of extend
 	upgr   bool // read-only attempt wrote; retry as update
+	// released marks a descriptor handed back via Release: it sits on the
+	// TM free list and must not run transactions until NewTx re-issues it.
+	released bool
 
 	// verShift is a hot-path cache set at Begin: it avoids a per-load
 	// branch on the design (write-back versions sit at bit 1,
@@ -161,6 +164,9 @@ func (m *mask256) reset()            { *m = mask256{} }
 func (tx *Tx) Begin(readOnly bool) {
 	if tx.inTx {
 		panic("core: Begin on descriptor already in a transaction")
+	}
+	if tx.released {
+		panic("core: Begin on released descriptor")
 	}
 	tx.tm.fz.enter()
 	// Reset the per-bucket acquisition counts of the previous attempt
@@ -276,6 +282,7 @@ func (tx *Tx) rollback(kind txn.AbortKind) {
 	}
 	tx.stats.aborts.Add(1)
 	tx.stats.abortsByKind[kind].Add(1)
+	tx.tm.aggAborts.Add(1)
 	tx.flushHotCounters()
 	tx.inTx = false
 	tx.startEpoch.Store(0)
@@ -758,6 +765,7 @@ func (tx *Tx) Commit() bool {
 
 func (tx *Tx) finishCommit() {
 	tx.stats.commits.Add(1)
+	tx.tm.aggCommits.Add(1)
 	tx.flushHotCounters()
 	tx.inTx = false
 	tx.startEpoch.Store(0)

@@ -262,3 +262,67 @@ func TestRepeatsKeepsMaximum(t *testing.T) {
 		t.Fatal("no throughput with repeats")
 	}
 }
+
+func TestAutotuneSweepRunsAndCompares(t *testing.T) {
+	sc := tinyScale()
+	calm := harness.IntsetParams{Kind: harness.KindList, InitialSize: 64, UpdatePct: 20}
+	hot := calm
+	hot.UpdatePct = 80
+	var observed int
+	ac := AutotuneConfig{
+		Phases: []harness.IntsetParams{calm, hot}, ShiftEvery: 3,
+		Threads: 2, Periods: 6, Period: 5 * time.Millisecond, Samples: 2,
+		Start: core.Params{Locks: 1 << 8, Shifts: 0, Hier: 1},
+		Bounds: tuning.Bounds{
+			MinLocks: 1 << 6, MaxLocks: 1 << 12,
+			MinShifts: 0, MaxShifts: 3, MinHier: 1, MaxHier: 8,
+		},
+		Statics: []core.Params{
+			{Locks: 1 << 8, Shifts: 0, Hier: 1},
+			{Locks: 1 << 12, Shifts: 0, Hier: 1},
+		},
+		Seed:    42,
+		OnEvent: func(tuning.Event) { observed++ },
+	}
+	r := AutotuneSweep(sc, ac)
+	if len(r.Events) != ac.Periods {
+		t.Fatalf("events = %d, want %d", len(r.Events), ac.Periods)
+	}
+	if observed != ac.Periods {
+		t.Errorf("OnEvent fired %d times, want %d", observed, ac.Periods)
+	}
+	if len(r.EventPhases) != ac.Periods {
+		t.Fatalf("event phases = %d, want %d", len(r.EventPhases), ac.Periods)
+	}
+	// ShiftEvery=3 over 6 periods: phases 0,0,0,1,1,1.
+	for i, phase := range r.EventPhases {
+		if want := i / ac.ShiftEvery; phase != want {
+			t.Errorf("event %d phase = %d, want %d", i, phase, want)
+		}
+	}
+	if len(r.Statics) != len(ac.Statics)*len(ac.Phases) {
+		t.Fatalf("statics = %d, want %d", len(r.Statics), len(ac.Statics)*len(ac.Phases))
+	}
+	if len(r.BestStatic) != len(ac.Phases) || len(r.PhaseBest) != len(ac.Phases) {
+		t.Fatalf("per-phase slices sized %d/%d, want %d", len(r.BestStatic), len(r.PhaseBest), len(ac.Phases))
+	}
+	for phase, bs := range r.BestStatic {
+		if bs.Throughput <= 0 {
+			t.Errorf("phase %d: no best static throughput", phase)
+		}
+		if bs.Phase != phase {
+			t.Errorf("phase %d: best static tagged with phase %d", phase, bs.Phase)
+		}
+	}
+	if r.BestTp <= 0 {
+		t.Error("no autotuned best throughput")
+	}
+	var sb strings.Builder
+	tt := r.TraceTable("test")
+	tt.Render(&sb)
+	ct := r.ComparisonTable()
+	ct.Render(&sb)
+	if !strings.Contains(sb.String(), "autotuned (best in phase)") {
+		t.Error("comparison table malformed")
+	}
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"sync/atomic"
+
+	"tinystm/internal/intset"
+	"tinystm/internal/txn"
+)
+
+// PhasedOp multiplexes several workload operations behind one OpFunc and
+// lets the caller flip the active phase while workers run. This is the
+// harness's phase-shift mode: a mid-run flip of the update rate or the
+// working-set size changes the workload's optimal STM configuration, which
+// is exactly what an online tuner must re-adapt to.
+type PhasedOp[T txn.Tx] struct {
+	phase atomic.Int32
+	ops   []OpFunc[T]
+}
+
+// NewPhasedOp builds a phased operation starting in phase 0.
+func NewPhasedOp[T txn.Tx](ops ...OpFunc[T]) *PhasedOp[T] {
+	if len(ops) == 0 {
+		panic("harness: NewPhasedOp needs at least one phase")
+	}
+	return &PhasedOp[T]{ops: ops}
+}
+
+// Op returns the worker-facing operation: each invocation dispatches to
+// the currently active phase (one atomic load per operation).
+func (p *PhasedOp[T]) Op() OpFunc[T] {
+	return func(w *Worker, tx T) {
+		p.ops[p.phase.Load()](w, tx)
+	}
+}
+
+// SetPhase switches every worker to phase i on their next operation.
+func (p *PhasedOp[T]) SetPhase(i int) {
+	if i < 0 || i >= len(p.ops) {
+		panic("harness: phase out of range")
+	}
+	p.phase.Store(int32(i))
+}
+
+// Phase returns the active phase index.
+func (p *PhasedOp[T]) Phase() int { return int(p.phase.Load()) }
+
+// Phases returns the number of phases.
+func (p *PhasedOp[T]) Phases() int { return len(p.ops) }
+
+// IntsetPhases builds a PhasedOp over one shared set from several
+// IntsetParams variants — typically the same structure with different
+// UpdatePct (update-rate flip) or Range (working-set-size flip). The set
+// should have been built from the first variant; all variants must use the
+// set's Kind.
+func IntsetPhases[T txn.Tx](sys txn.System[T], set intset.Set[T], variants ...IntsetParams) *PhasedOp[T] {
+	if len(variants) == 0 {
+		panic("harness: IntsetPhases needs at least one variant")
+	}
+	ops := make([]OpFunc[T], len(variants))
+	for i, v := range variants {
+		ops[i] = IntsetOp[T](sys, set, v)
+	}
+	return NewPhasedOp(ops...)
+}

@@ -56,6 +56,36 @@ func TestWorkersReconfigureWhileRunning(t *testing.T) {
 	})
 }
 
+func TestWorkersReleaseDescriptors(t *testing.T) {
+	// Repeated pool lifetimes on one long-lived TM must recycle descriptor
+	// slots, not mint fresh ones per cycle (the maxSlots-exhaustion leak).
+	tm := newTM(t)
+	tx := tm.NewTx()
+	var a uint64
+	tm.Atomic(tx, func(tx *core.Tx) { a = tx.Alloc(1) })
+	tx.Release()
+
+	const threads, cycles = 3, 20
+	for c := 0; c < cycles; c++ {
+		before := tm.Stats().Commits
+		ws := harness.StartWorkers[*core.Tx](tm, threads, 7, func(w *harness.Worker, tx *core.Tx) {
+			tm.Atomic(tx, func(tx *core.Tx) { tx.Store(a, tx.Load(a)+1) })
+		})
+		for tm.Stats().Commits < before+10 {
+			runtime.Gosched()
+		}
+		ws.Stop()
+	}
+	minted, free := tm.DescriptorCounts()
+	if minted > threads+1 {
+		t.Errorf("%d worker-pool cycles minted %d descriptors, want <= %d (slots recycled)",
+			cycles, minted, threads+1)
+	}
+	if free != minted {
+		t.Errorf("descriptors outstanding after all pools stopped: minted %d, free %d", minted, free)
+	}
+}
+
 func TestWorkersPanicsOnBadThreads(t *testing.T) {
 	tm := newTM(t)
 	defer func() {

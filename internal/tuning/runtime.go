@@ -1,0 +1,349 @@
+package tuning
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tinystm/internal/core"
+)
+
+// System is the runtime's view of a tunable STM: an O(1) lock-free sampler
+// for the commit/abort totals, live reconfiguration, and the current
+// parameters. *core.TM satisfies it.
+type System interface {
+	// CommitAbortCounts returns monotonically increasing aggregate
+	// counters. The runtime differentiates them per sample, so the call
+	// must be cheap and must not perturb the transaction hot path.
+	CommitAbortCounts() (commits, aborts uint64)
+	// Reconfigure atomically replaces the tunable triple on the live
+	// system.
+	Reconfigure(core.Params) error
+	// Params returns the currently installed triple.
+	Params() core.Params
+}
+
+var _ System = (*core.TM)(nil)
+
+// Event is one tuning period as observed by the runtime, published on the
+// trace channel (observability) and retained in the runtime's own trace.
+type Event struct {
+	// Period is the zero-based index of the tuning period.
+	Period int
+	// Params is the configuration that was live during the period.
+	Params core.Params
+	// Throughput is the maximum commits/second over the period's samples
+	// (Section 4.3 measures three times and keeps the maximum).
+	Throughput float64
+	// Commits and Aborts are the raw counter deltas over the whole period.
+	Commits, Aborts uint64
+	// Idle marks a paused period: the system was (nearly) quiescent, so
+	// the measurement was discarded instead of being charged to the
+	// current configuration, and no move was made.
+	Idle bool
+	// Move is the hill-climber's decision; Reversed marks the paper's "-x"
+	// notation (reverse to best, then move x). Meaningless when Idle.
+	Move     Move
+	Reversed bool
+	// Next is the configuration installed for the following period.
+	Next core.Params
+	// Err reports a failed Reconfigure (the system keeps its previous
+	// parameters; the tuner's memory still records the move).
+	Err error
+}
+
+// String renders one trace line ("cfg → tp via move").
+func (e Event) String() string {
+	switch {
+	case e.Idle:
+		return fmt.Sprintf("period %d: %v idle (%d commits), holding", e.Period, e.Params, e.Commits)
+	case e.Err != nil:
+		return fmt.Sprintf("period %d: %v %.0f txs/s, move %v failed: %v", e.Period, e.Params, e.Throughput, e.Move, e.Err)
+	default:
+		m := e.Move.String()
+		if e.Reversed {
+			m = "-" + m
+		}
+		return fmt.Sprintf("period %d: %v %.0f txs/s, move %v -> %v", e.Period, e.Params, e.Throughput, m, e.Next)
+	}
+}
+
+// RuntimeConfig parameterizes a Runtime.
+type RuntimeConfig struct {
+	// Tuner configures the hill-climbing engine. A zero Initial is
+	// replaced by the system's current parameters at Start.
+	Tuner Config
+	// Period is one throughput sample interval (the paper measures "over
+	// a period of approximately one second"). Default 1s.
+	Period time.Duration
+	// Samples is the number of Period-long samples per tuning decision;
+	// the maximum is kept (Section 4.3's max-of-3). Default 3.
+	Samples int
+	// MinPeriodCommits is the pause-on-idle threshold: when fewer commits
+	// than this land during a whole period, the runtime discards the
+	// measurement and holds the configuration — an idle application must
+	// not teach the tuner that its current configuration is bad. Default 1
+	// (pause only when fully quiescent).
+	MinPeriodCommits uint64
+	// Trace, when non-nil, receives one Event per period. Sends never
+	// block: if the channel is full the event is dropped (the controller
+	// must not stall behind a slow observer). Size the buffer to the run
+	// when completeness matters.
+	Trace chan<- Event
+
+	// Now and After inject a clock for deterministic tests. Defaults:
+	// time.Now and time.After.
+	Now   func() time.Time
+	After func(time.Duration) <-chan time.Time
+}
+
+func (c RuntimeConfig) withDefaults() RuntimeConfig {
+	if c.Period <= 0 {
+		c.Period = time.Second
+	}
+	if c.Samples <= 0 {
+		c.Samples = 3
+	}
+	if c.MinPeriodCommits == 0 {
+		c.MinPeriodCommits = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.After == nil {
+		c.After = time.After
+	}
+	return c
+}
+
+// Runtime is the online auto-tuning controller (the paper's Section 4
+// "dynamic tuning" running inside the system rather than in a benchmark
+// harness): a background goroutine meters live commit throughput from the
+// system's aggregate counters, feeds the hill-climbing Tuner one
+// measurement per period, and applies the chosen moves to the live system
+// via Reconfigure.
+//
+// Start launches the controller; Stop halts it and waits for it to exit.
+// A stopped Runtime can be started again and continues from the tuner's
+// accumulated memory.
+type Runtime struct {
+	sys System
+	cfg RuntimeConfig
+
+	mu       sync.Mutex // guards tuner, trace, running/starting/stopping/stop/done
+	tuner    *Tuner
+	trace    []Event
+	periods  int
+	running  bool
+	starting bool // Start in progress: installing the initial configuration
+	stopping bool // Stop in progress: stop closed, controller still draining
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewRuntime builds a controller over sys. The tuner starts at
+// cfg.Tuner.Initial, or at the system's current parameters when unset.
+func NewRuntime(sys System, cfg RuntimeConfig) *Runtime {
+	cfg = cfg.withDefaults()
+	if cfg.Tuner.Initial == (core.Params{}) {
+		cfg.Tuner.Initial = sys.Params()
+	}
+	return &Runtime{sys: sys, cfg: cfg, tuner: New(cfg.Tuner)}
+}
+
+// Start launches the controller goroutine. It first reconfigures the
+// system to the tuner's current configuration if the two disagree (e.g. a
+// non-zero Tuner.Initial differing from the system's construction
+// parameters).
+func (r *Runtime) Start() error {
+	r.mu.Lock()
+	if r.running || r.starting {
+		r.mu.Unlock()
+		return fmt.Errorf("tuning: runtime already running")
+	}
+	// Claim the start before the unlocked Reconfigure below: a concurrent
+	// Start must fail here rather than race in — its stale Reconfigure
+	// could otherwise revert parameters the winner's controller has
+	// already moved past.
+	r.starting = true
+	cur := r.tuner.Current()
+	r.mu.Unlock()
+
+	// The initial Reconfigure runs outside r.mu: it freezes the world and
+	// can block behind in-flight transactions, and Running/Best/Trace/Stop
+	// must stay responsive meanwhile (same invariant as step).
+	var err error
+	if cur != r.sys.Params() {
+		if e := r.sys.Reconfigure(cur); e != nil {
+			err = fmt.Errorf("tuning: installing initial configuration %v: %w", cur, e)
+		}
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.starting = false
+	if err != nil {
+		return err
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	r.running = true
+	go r.run(r.stop, r.done)
+	return nil
+}
+
+// Stop halts the controller and waits for the goroutine to exit. Safe to
+// call multiple times and on a never-started runtime. The runtime stays
+// `running` (a concurrent Start fails) until the controller has actually
+// exited: clearing the flag before the drain would let a Start race in a
+// second controller goroutine against the old one mid-period.
+func (r *Runtime) Stop() {
+	r.mu.Lock()
+	if !r.running {
+		r.mu.Unlock()
+		return
+	}
+	if !r.stopping {
+		r.stopping = true
+		close(r.stop)
+	}
+	done := r.done
+	r.mu.Unlock()
+	<-done
+	r.mu.Lock()
+	if r.done == done {
+		// Still our generation (a concurrent Stop may have completed the
+		// transition already, and a subsequent Start may have begun a new
+		// one — never clobber that).
+		r.running = false
+		r.stopping = false
+	}
+	r.mu.Unlock()
+}
+
+// Running reports whether the controller goroutine is active.
+func (r *Runtime) Running() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.running
+}
+
+// Best returns the best configuration seen so far and its throughput.
+// Safe to call while the runtime is running.
+func (r *Runtime) Best() (core.Params, float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tuner.Best()
+}
+
+// Current returns the configuration the tuner is currently measuring.
+func (r *Runtime) Current() core.Params {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tuner.Current()
+}
+
+// Trace returns a copy of the per-period event log.
+func (r *Runtime) Trace() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.trace))
+	copy(out, r.trace)
+	return out
+}
+
+// run is the controller loop. stop/done are captured at Start so a
+// concurrent Stop+Start pair cannot cross wires.
+func (r *Runtime) run(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	lastC, lastA := r.sys.CommitAbortCounts()
+	lastT := r.cfg.Now()
+	for {
+		maxTp := 0.0
+		var commits, aborts uint64
+		for s := 0; s < r.cfg.Samples; s++ {
+			select {
+			case <-stop:
+				return
+			case <-r.cfg.After(r.cfg.Period):
+			}
+			c, a := r.sys.CommitAbortCounts()
+			t := r.cfg.Now()
+			dc, da := c-lastC, a-lastA
+			secs := t.Sub(lastT).Seconds()
+			lastC, lastA, lastT = c, a, t
+			commits += dc
+			aborts += da
+			if secs > 0 {
+				if tp := float64(dc) / secs; tp > maxTp {
+					maxTp = tp
+				}
+			}
+		}
+		r.step(maxTp, commits, aborts)
+		// Re-baseline after the decision: step can block arbitrarily long
+		// in Reconfigure's world-freeze, during which commits are
+		// suppressed. Without a fresh baseline the new configuration's
+		// first sample window would include that pause and read
+		// systematically low — every move would look like a throughput
+		// drop, spuriously triggering the tuner's reverse/forbid rules.
+		lastC, lastA = r.sys.CommitAbortCounts()
+		lastT = r.cfg.Now()
+	}
+}
+
+// step makes one tuning decision from a period's measurement and applies
+// it to the live system.
+func (r *Runtime) step(maxTp float64, commits, aborts uint64) {
+	r.mu.Lock()
+	ev := Event{
+		Period:     r.periods,
+		Params:     r.tuner.Current(),
+		Throughput: maxTp,
+		Commits:    commits,
+		Aborts:     aborts,
+	}
+	r.periods++
+	if commits < r.cfg.MinPeriodCommits {
+		// Pause on idle: hold the configuration and teach the tuner
+		// nothing — near-zero offered load says nothing about the
+		// configuration's quality.
+		ev.Idle = true
+		ev.Next = ev.Params
+		r.trace = append(r.trace, ev)
+		r.mu.Unlock()
+		r.emit(ev)
+		return
+	}
+	next, move := r.tuner.Step(maxTp)
+	ev.Move = move
+	ev.Next = next
+	if tr := r.tuner.Trace(); len(tr) > 0 {
+		ev.Reversed = tr[len(tr)-1].Reversed
+	}
+	reconfigure := next != ev.Params
+	r.mu.Unlock()
+
+	// Reconfigure outside r.mu: it freezes the world and can block behind
+	// in-flight transactions, and Stop/Best/Trace must stay responsive.
+	if reconfigure {
+		if err := r.sys.Reconfigure(next); err != nil {
+			ev.Err = err
+		}
+	}
+	r.mu.Lock()
+	r.trace = append(r.trace, ev)
+	r.mu.Unlock()
+	r.emit(ev)
+}
+
+// emit publishes an event on the trace channel without ever blocking.
+func (r *Runtime) emit(ev Event) {
+	if r.cfg.Trace == nil {
+		return
+	}
+	select {
+	case r.cfg.Trace <- ev:
+	default:
+	}
+}

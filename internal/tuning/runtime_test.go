@@ -1,0 +1,358 @@
+package tuning
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tinystm/internal/core"
+	"tinystm/internal/harness"
+	"tinystm/internal/mem"
+)
+
+// virtualEnv is a fake System plus fake clock: time only advances when the
+// runtime waits for a sample, and commits accrue at a synthetic
+// per-configuration rate. After maxTicks waits it hands the runtime a
+// channel that never fires and signals the test, making the whole
+// controller loop deterministic — no goroutine coordination, no wall
+// clock.
+type virtualEnv struct {
+	mu          sync.Mutex
+	now         time.Time
+	commits     uint64
+	params      core.Params
+	rate        func(core.Params) float64
+	ticks       int
+	maxTicks    int
+	reached     chan struct{} // closed (once) when maxTicks waits have elapsed
+	reachedOnce sync.Once
+	reconfigs   int
+}
+
+func newVirtualEnv(start core.Params, rate func(core.Params) float64, maxTicks int) *virtualEnv {
+	return &virtualEnv{
+		now: time.Unix(0, 0), params: start, rate: rate,
+		maxTicks: maxTicks, reached: make(chan struct{}),
+	}
+}
+
+func (v *virtualEnv) CommitAbortCounts() (uint64, uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.commits, 0
+}
+
+func (v *virtualEnv) Reconfigure(p core.Params) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.params = p
+	v.reconfigs++
+	return nil
+}
+
+func (v *virtualEnv) Params() core.Params {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.params
+}
+
+func (v *virtualEnv) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+func (v *virtualEnv) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if v.ticks >= v.maxTicks {
+		v.reachedOnce.Do(func() { close(v.reached) })
+		return ch // never fires; the runtime parks until Stop
+	}
+	v.ticks++
+	v.now = v.now.Add(d)
+	v.commits += uint64(v.rate(v.params) * d.Seconds())
+	ch <- v.now
+	return ch
+}
+
+func (v *virtualEnv) config(tcfg Config) RuntimeConfig {
+	return RuntimeConfig{
+		Tuner: tcfg, Period: time.Second, Samples: 3,
+		Now: v.Now, After: v.After,
+	}
+}
+
+// The runtime under a fake clock must escape the deliberately bad 2^8
+// start of Section 4.3 and park on a configuration within 10% of the best
+// throughput it ever saw — without any manual driving of the tuner.
+func TestRuntimeConvergesDeterministically(t *testing.T) {
+	start := p(8, 0, 1)
+	opt := p(18, 3, 4)
+	rate := synthetic(opt)
+	const periods = 300
+	env := newVirtualEnv(start, rate, periods*3)
+	rt := NewRuntime(env, env.config(Config{Initial: start, Seed: 7}))
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	<-env.reached
+	rt.Stop()
+
+	best, bestTp := rt.Best()
+	if best.Locks <= 1<<8 {
+		t.Errorf("tuner never escaped the 2^8 start: best %v", best)
+	}
+	final := rt.Current()
+	if got := rate(final); got < bestTp*0.9 {
+		t.Errorf("final configuration %v yields %.1f, more than 10%% below best seen %.1f (at %v)",
+			final, got, bestTp, best)
+	}
+	if env.reconfigs == 0 {
+		t.Error("runtime never reconfigured the system")
+	}
+	if len(rt.Trace()) < periods-1 {
+		t.Errorf("trace has %d events, want ~%d", len(rt.Trace()), periods)
+	}
+}
+
+// Same seed, same synthetic surface, same fake clock: two runs must take
+// exactly the same configuration path.
+func TestRuntimeDeterministicUnderSeed(t *testing.T) {
+	run := func() []Event {
+		env := newVirtualEnv(p(8, 0, 1), synthetic(p(16, 2, 4)), 60*3)
+		rt := NewRuntime(env, env.config(Config{Initial: p(8, 0, 1), Seed: 42}))
+		if err := rt.Start(); err != nil {
+			t.Fatal(err)
+		}
+		<-env.reached
+		rt.Stop()
+		return rt.Trace()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("trace lengths differ or empty: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at period %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// A quiescent application must pause the tuner, not teach it that the
+// current configuration is worthless.
+func TestRuntimePausesOnIdle(t *testing.T) {
+	start := p(10, 0, 1)
+	env := newVirtualEnv(start, func(core.Params) float64 { return 0 }, 10*3)
+	rt := NewRuntime(env, env.config(Config{Initial: start, Seed: 1}))
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	<-env.reached
+	rt.Stop()
+	trace := rt.Trace()
+	if len(trace) == 0 {
+		t.Fatal("no events recorded")
+	}
+	for _, ev := range trace {
+		if !ev.Idle {
+			t.Fatalf("event not marked idle: %+v", ev)
+		}
+		if ev.Next != start {
+			t.Fatalf("idle period moved the configuration: %+v", ev)
+		}
+	}
+	if env.reconfigs != 0 {
+		t.Errorf("idle runtime reconfigured %d times", env.reconfigs)
+	}
+	if cur := rt.Current(); cur != start {
+		t.Errorf("tuner moved while idle: %v", cur)
+	}
+}
+
+// Start/Stop lifecycle: double Start fails, Stop is idempotent, and a
+// stopped runtime restarts and keeps tuning from its memory.
+func TestRuntimeLifecycle(t *testing.T) {
+	env := newVirtualEnv(p(8, 0, 1), synthetic(p(12, 0, 1)), 1<<30)
+	rt := NewRuntime(env, env.config(Config{Initial: p(8, 0, 1), Seed: 5}))
+	rt.Stop() // never started: no-op
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err == nil {
+		t.Fatal("second Start did not fail")
+	}
+	if !rt.Running() {
+		t.Fatal("not running after Start")
+	}
+	rt.Stop()
+	rt.Stop() // idempotent
+	if rt.Running() {
+		t.Fatal("running after Stop")
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	rt.Stop()
+}
+
+// slowReconfEnv parks the controller inside Reconfigure for a while and
+// reports when it got there, so the test can probe the Stop-in-progress
+// window deterministically.
+type slowReconfEnv struct {
+	mu      sync.Mutex
+	params  core.Params
+	commits uint64
+	entered chan struct{}
+	once    sync.Once
+	delay   time.Duration
+}
+
+func (s *slowReconfEnv) CommitAbortCounts() (uint64, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commits += 1000 // always busy: never the idle path
+	return s.commits, 0
+}
+
+func (s *slowReconfEnv) Reconfigure(p core.Params) error {
+	s.once.Do(func() { close(s.entered) })
+	time.Sleep(s.delay)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.params = p
+	return nil
+}
+
+func (s *slowReconfEnv) Params() core.Params {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.params
+}
+
+// While Stop is draining a controller that is mid-period, Start must keep
+// failing: clearing `running` before the drain completes would let a
+// second controller goroutine run concurrently with the old one (double-
+// feeding the tuner and issuing interleaved Reconfigures).
+func TestRuntimeStartBlockedUntilStopCompletes(t *testing.T) {
+	start := p(8, 0, 1)
+	env := &slowReconfEnv{params: start, entered: make(chan struct{}), delay: 500 * time.Millisecond}
+	immediate := func(time.Duration) <-chan time.Time {
+		ch := make(chan time.Time, 1)
+		ch <- time.Now()
+		return ch
+	}
+	rt := NewRuntime(env, RuntimeConfig{
+		Tuner:  Config{Initial: start, Seed: 1},
+		Period: time.Second, Samples: 1,
+		Now: time.Now, After: immediate,
+	})
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	<-env.entered // controller is now inside Reconfigure for ~delay
+	stopped := make(chan struct{})
+	go func() { rt.Stop(); close(stopped) }()
+	time.Sleep(50 * time.Millisecond) // let Stop close the stop channel
+	// The controller is still sleeping inside Reconfigure (delay >> 50ms),
+	// so Stop cannot have completed and Start must be refused.
+	if err := rt.Start(); err == nil {
+		t.Fatal("Start succeeded while Stop was still draining the controller")
+	}
+	<-stopped
+	if err := rt.Start(); err != nil {
+		t.Fatalf("Start after completed Stop: %v", err)
+	}
+	rt.Stop()
+}
+
+// Live end-to-end under the race detector: real workers on a real TM, the
+// runtime reconfiguring underneath them, concurrent Stats()/sampler
+// polling, and a mid-run workload phase shift (update-rate and
+// working-set-size flip).
+func TestRuntimeLiveWorkersPhaseShift(t *testing.T) {
+	sp := mem.NewSpace(1 << 18)
+	start := core.Params{Locks: 1 << 8, Shifts: 0, Hier: 1}
+	tm := core.MustNew(core.Config{Space: sp, Locks: start.Locks})
+
+	base := harness.IntsetParams{Kind: harness.KindList, InitialSize: 128, UpdatePct: 10}
+	set := harness.BuildIntset[*core.Tx](tm, base, 3)
+	hot := base
+	hot.UpdatePct = 80
+	hot.Range = 64 // shrink the working set: hotter conflicts
+	phased := harness.IntsetPhases[*core.Tx](tm, set, base, hot)
+	workers := harness.StartWorkers[*core.Tx](tm, 4, 3, phased.Op())
+	defer workers.Stop()
+
+	const totalPeriods = 16
+	traceCh := make(chan Event, totalPeriods*2)
+	rt := NewRuntime(tm, RuntimeConfig{
+		Tuner: Config{
+			Initial: start, Seed: 3,
+			// Small bounds keep lock-array allocations cheap in a race
+			// test; the walk still has room to move.
+			Bounds: Bounds{MinLocks: 1 << 6, MaxLocks: 1 << 14,
+				MaxShifts: 4, MinHier: 1, MaxHier: 8},
+		},
+		Period: 10 * time.Millisecond, Samples: 2, Trace: traceCh,
+	})
+
+	pollStop := make(chan struct{})
+	var pollWg sync.WaitGroup
+	pollWg.Add(1)
+	go func() {
+		defer pollWg.Done()
+		for {
+			select {
+			case <-pollStop:
+				return
+			default:
+			}
+			tm.Stats()
+			tm.CommitAbortCounts()
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	periods := 0
+	deadline := time.After(30 * time.Second)
+	for periods < totalPeriods {
+		select {
+		case <-traceCh:
+			periods++
+			if periods == totalPeriods/2 {
+				phased.SetPhase(1)
+			}
+		case <-deadline:
+			t.Fatal("runtime produced too few periods before deadline")
+		}
+	}
+	rt.Stop()
+	close(pollStop)
+	pollWg.Wait()
+
+	trace := rt.Trace()
+	if len(trace) < totalPeriods {
+		t.Fatalf("trace has %d events, want >= %d", len(trace), totalPeriods)
+	}
+	moved := false
+	for _, ev := range trace {
+		if !ev.Idle && ev.Next != ev.Params {
+			moved = true
+		}
+		if ev.Err != nil {
+			t.Errorf("reconfigure failed: %v", ev.Err)
+		}
+	}
+	if !moved {
+		t.Error("runtime never moved the configuration")
+	}
+	if s := tm.Stats(); s.Reconfigs == 0 {
+		t.Error("no reconfigurations reached the TM")
+	}
+}
