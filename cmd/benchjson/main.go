@@ -1,0 +1,131 @@
+// Command benchjson converts `go test -bench` output (stdin) into a JSON
+// benchmark artifact (stdout): CI runs the short benchmark suite on every
+// push and uploads one BENCH_<sha>.json per commit, so the repository's
+// performance trajectory is a series of machine-readable artifacts instead
+// of scrollback. The raw benchmark lines are preserved verbatim in the
+// "raw" field, so `benchstat old.txt new.txt` comparisons can be
+// regenerated from any two artifacts (benchstat consumes the text format):
+//
+//	jq -r '.raw[]' BENCH_abc.json > old.txt
+//	jq -r '.raw[]' BENCH_def.json > new.txt
+//	benchstat old.txt new.txt
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x ./... | benchjson -sha $GITHUB_SHA > BENCH_$GITHUB_SHA.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the full benchmark name including the -N GOMAXPROCS
+	// suffix, as printed (the benchstat key).
+	Name string `json:"name"`
+	// Iterations is b.N for the run.
+	Iterations uint64 `json:"iterations"`
+	// Metrics maps unit -> value for every "value unit" pair on the
+	// line: ns/op, B/op, allocs/op and any b.ReportMetric custom units
+	// (this repository reports txs/s).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Artifact is the JSON document: provenance plus parsed results plus the
+// verbatim benchmark lines.
+type Artifact struct {
+	SHA      string      `json:"sha,omitempty"`
+	Ref      string      `json:"ref,omitempty"`
+	Date     string      `json:"date"`
+	GoOS     string      `json:"goos"`
+	GoArch   string      `json:"goarch"`
+	GoVer    string      `json:"go"`
+	Packages []string    `json:"packages,omitempty"`
+	Results  []Benchmark `json:"benchmarks"`
+	Raw      []string    `json:"raw"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		sha = flag.String("sha", os.Getenv("GITHUB_SHA"), "commit SHA recorded in the artifact")
+		ref = flag.String("ref", os.Getenv("GITHUB_REF"), "git ref recorded in the artifact")
+	)
+	flag.Parse()
+
+	art := Artifact{
+		SHA:    *sha,
+		Ref:    *ref,
+		Date:   time.Now().UTC().Format(time.RFC3339),
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		GoVer:  runtime.Version(),
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				art.Results = append(art.Results, b)
+				art.Raw = append(art.Raw, line)
+			}
+		case strings.HasPrefix(line, "pkg:"):
+			art.Packages = append(art.Packages, strings.TrimSpace(strings.TrimPrefix(line, "pkg:")))
+			art.Raw = append(art.Raw, line)
+		case strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:") ||
+			strings.HasPrefix(line, "cpu:"):
+			art.Raw = append(art.Raw, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(art.Results) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks from %d packages\n",
+		len(art.Results), len(art.Packages))
+}
+
+// parseBenchLine parses one "BenchmarkName-8  100  123 ns/op  4 B/op ..."
+// line. Returns ok=false for lines that merely start with "Benchmark" but
+// are not results (e.g. failure chatter).
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

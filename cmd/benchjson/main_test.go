@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkCommitClockSerial/fetchinc-8   \t 1000000\t        88.4 ns/op")
+	if !ok || b.Name != "BenchmarkCommitClockSerial/fetchinc-8" || b.Iterations != 1000000 {
+		t.Fatalf("basic line: %+v ok=%v", b, ok)
+	}
+	if b.Metrics["ns/op"] != 88.4 {
+		t.Fatalf("ns/op = %v", b.Metrics["ns/op"])
+	}
+
+	b, ok = parseBenchLine("BenchmarkFig02RBTree256u20-2 1 70875021 ns/op 132185 txs/s 41 B/op 2 allocs/op")
+	if !ok || len(b.Metrics) != 4 || b.Metrics["txs/s"] != 132185 || b.Metrics["allocs/op"] != 2 {
+		t.Fatalf("custom-metric line: %+v ok=%v", b, ok)
+	}
+
+	for _, bad := range []string{
+		"BenchmarkBroken",
+		"BenchmarkOdd-8 100 12", // metric without unit
+		"BenchmarkNaN-8 x 12 ns/op",
+		"goos: linux",
+	} {
+		if _, ok := parseBenchLine(bad); ok {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

@@ -33,7 +33,7 @@ func main() {
 	log.SetPrefix("stmbench: ")
 
 	var (
-		fig      = flag.String("fig", "all", "figure to reproduce: 2, 3, 4, 4r, 5, all, custom, clock")
+		fig      = flag.String("fig", "all", "figure to reproduce: 2, 3, 4, 4r, 5, all, custom, clock, server")
 		clock    = flag.String("clock", "fetchinc", "commit-clock strategy for TinySTM points (fetchinc, lazy, ticket); -fig clock sweeps all three")
 		bench    = flag.String("b", "rbtree", "structure for -fig custom (list, rbtree, skiplist, hashset)")
 		size     = flag.Int("size", 4096, "initial elements for -fig custom")
@@ -108,6 +108,18 @@ func main() {
 			emit(experiments.SweepClockStrategies(sc, d, defaultGeometry, ip,
 				core.AllClockStrategies).ToTable())
 		}
+	case "server":
+		// Open-loop service load (the cmd/stmkvd shape, in-process):
+		// autotuned vs. static geometries under a calm-to-hot phase flip.
+		cfg := experiments.DefaultServerConfig(sc)
+		fmt.Printf("server sweep: rate %.0f req/s, %d workers, %v per point, period %v, start %v\n",
+			cfg.Rate, cfg.Workers, cfg.Duration, cfg.Period, cfg.Start)
+		r := experiments.ServerSweep(sc, cfg)
+		for _, ev := range r.Events {
+			fmt.Println(ev)
+		}
+		fmt.Println()
+		emit(r.ToTable())
 	case "custom":
 		kind, err := cliutil.ParseKind(*bench)
 		if err != nil {

@@ -1,0 +1,232 @@
+// Command stmkv-loadgen drives a running stmkvd with open-loop,
+// Zipf-skewed, service-shaped traffic: requests are issued on a fixed
+// arrival schedule (-rate) regardless of response times, the way real
+// users arrive, so a slow server configuration shows up as queueing
+// latency and shed load instead of silently lowering the offered rate.
+//
+// The key popularity follows a Zipfian distribution (-theta; 0 uniform,
+// 0.99 heavily skewed), the operation mix splits between reads, CAS
+// read-modify-writes, multi-key atomic batches and plain writes, and
+// -shift flips to a second mix (-read2/-theta2) halfway through the run —
+// the phase change the server's autotuner must re-adapt to.
+//
+// Examples:
+//
+//	stmkv-loadgen -addr http://localhost:8080 -rate 5000 -duration 30s
+//	stmkv-loadgen -rate 2000 -theta 0.99 -read 95          # hot read-mostly
+//	stmkv-loadgen -shift -read 90 -read2 30 -theta2 0.5    # mid-run phase flip
+//	stmkv-loadgen -min-ops 10000                           # CI gate: exit 1 if fewer complete
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"tinystm/internal/harness"
+	"tinystm/internal/rng"
+)
+
+type mixConsts struct {
+	zipf    *rng.Zipf
+	readPct int
+	casPct  int
+	batch   int
+	bsize   int
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stmkv-loadgen: ")
+
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "stmkvd base URL")
+		rate     = flag.Float64("rate", 5000, "arrival rate, requests/second")
+		duration = flag.Duration("duration", 10*time.Second, "length of the arrival schedule")
+		workers  = flag.Int("workers", 32, "request concurrency")
+		queue    = flag.Int("queue", 0, "arrival queue bound (0 = 4x workers); overflow is shed")
+		keys     = flag.Uint64("keys", 4096, "keyspace size")
+		theta    = flag.Float64("theta", 0.9, "Zipfian key skew in [0,1)")
+		readPct  = flag.Int("read", 80, "percent single-key GETs")
+		casPct   = flag.Int("cas", 5, "percent CAS read-modify-writes")
+		batchPct = flag.Int("batch", 5, "percent multi-key atomic batches")
+		bsize    = flag.Int("batch-size", 4, "keys per batch")
+		shift    = flag.Bool("shift", false, "flip to the phase-2 mix halfway through")
+		readPct2 = flag.Int("read2", 20, "phase-2 percent reads (with -shift)")
+		theta2   = flag.Float64("theta2", 0.99, "phase-2 Zipfian skew (with -shift)")
+		preload  = flag.Bool("preload", true, "PUT every key once before the timed run")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		minOps   = flag.Uint64("min-ops", 0, "exit 1 unless at least this many requests complete")
+	)
+	flag.Parse()
+
+	checkMix := func(phase string, read int, theta float64) {
+		if read < 0 || *casPct < 0 || *batchPct < 0 || read+*casPct+*batchPct > 100 {
+			log.Fatalf("%s mix invalid: read=%d cas=%d batch=%d must be >= 0 and sum <= 100",
+				phase, read, *casPct, *batchPct)
+		}
+		if theta < 0 || theta >= 1 {
+			log.Fatalf("%s theta (%v) must be in [0, 1)", phase, theta)
+		}
+	}
+	checkMix("phase-1", *readPct, *theta)
+	if *shift {
+		checkMix("phase-2", *readPct2, *theta2)
+	}
+	if *keys == 0 || *rate <= 0 || *workers <= 0 || *bsize <= 0 {
+		log.Fatal("-keys, -rate, -workers and -batch-size must be positive")
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns: 4 * *workers, MaxIdleConnsPerHost: 4 * *workers,
+	}}
+
+	if *preload {
+		r := rng.New(*seed)
+		for k := uint64(0); k < *keys; k++ {
+			if err := put(client, *addr, k, r.Uint64()%1000); err != nil {
+				log.Fatalf("preload key %d: %v", k, err)
+			}
+		}
+		log.Printf("preloaded %d keys", *keys)
+	}
+
+	phase1 := mixConsts{zipf: rng.NewZipf(*keys, *theta), readPct: *readPct,
+		casPct: *casPct, batch: *batchPct, bsize: *bsize}
+	phase2 := phase1
+	if *shift {
+		phase2 = mixConsts{zipf: rng.NewZipf(*keys, *theta2), readPct: *readPct2,
+			casPct: *casPct, batch: *batchPct, bsize: *bsize}
+	}
+	var phase atomic.Pointer[mixConsts]
+	phase.Store(&phase1)
+	if *shift {
+		time.AfterFunc(*duration/2, func() {
+			phase.Store(&phase2)
+			log.Printf("phase shift: read %d%%->%d%% theta %.2f->%.2f",
+				*readPct, *readPct2, *theta, *theta2)
+		})
+	}
+
+	res := harness.OpenLoop{
+		Rate: *rate, Duration: *duration, Workers: *workers, Queue: *queue, Seed: *seed,
+		NewOp: func(w *harness.Worker) (func(*harness.Worker) error, func()) {
+			return func(w *harness.Worker) error {
+				return oneRequest(client, *addr, phase.Load(), w.Rng)
+			}, nil
+		},
+	}.Run()
+
+	log.Printf("offered=%d completed=%d dropped=%d errors=%d", res.Offered, res.Completed, res.Dropped, res.Errors)
+	log.Printf("throughput=%.0f req/s latency p50=%v p95=%v p99=%v max=%v",
+		res.Throughput, res.P50, res.P95, res.P99, res.Max)
+	if *minOps > 0 && res.Completed < *minOps {
+		log.Printf("FAIL: completed %d < min-ops %d", res.Completed, *minOps)
+		os.Exit(1)
+	}
+	if res.Completed > 0 && res.Errors == res.Completed {
+		log.Print("FAIL: every request errored")
+		os.Exit(1)
+	}
+}
+
+// oneRequest performs one mixed operation against the server.
+func oneRequest(c *http.Client, base string, m *mixConsts, r *rng.Rand) error {
+	key := m.zipf.Next(r)
+	switch p := r.Intn(100); {
+	case p < m.readPct:
+		return get(c, base, key)
+	case p < m.readPct+m.casPct:
+		// Optimistic RMW over the wire: read, then CAS once.
+		resp, err := c.Get(fmt.Sprintf("%s/kv/%d", base, key))
+		if err != nil {
+			return err
+		}
+		var cur struct{ Val uint64 }
+		err = decodeOK(resp, &cur)
+		if err != nil {
+			return put(c, base, key, 1) // absent: seed it
+		}
+		body := fmt.Sprintf(`{"old":%d,"new":%d}`, cur.Val, cur.Val+1)
+		resp, err = c.Post(fmt.Sprintf("%s/kv/%d/cas", base, key), "application/json",
+			bytes.NewReader([]byte(body)))
+		if err != nil {
+			return err
+		}
+		return drain(resp)
+	case p < m.readPct+m.casPct+m.batch:
+		var b bytes.Buffer
+		b.WriteString(`{"ops":[`)
+		for i := 0; i < m.bsize; i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, `{"op":"add","key":%d,"val":1}`, m.zipf.Next(r))
+		}
+		b.WriteString(`]}`)
+		resp, err := c.Post(base+"/batch", "application/json", &b)
+		if err != nil {
+			return err
+		}
+		return drain(resp)
+	default:
+		return put(c, base, key, r.Uint64()%100000)
+	}
+}
+
+func get(c *http.Client, base string, key uint64) error {
+	resp, err := c.Get(fmt.Sprintf("%s/kv/%d", base, key))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("GET /kv/%d: %s", key, resp.Status)
+	}
+	return nil
+}
+
+func put(c *http.Client, base string, key, val uint64) error {
+	req, err := http.NewRequest(http.MethodPut,
+		fmt.Sprintf("%s/kv/%d", base, key), bytes.NewReader([]byte(fmt.Sprint(val))))
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return drain(resp)
+}
+
+// drain consumes and closes a response body, failing on non-2xx.
+func drain(resp *http.Response) error {
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s %s: %s", resp.Request.Method, resp.Request.URL.Path, resp.Status)
+	}
+	return nil
+}
+
+// decodeOK decodes a 200 JSON body into out, erroring otherwise.
+func decodeOK(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("%s: %s", resp.Request.URL.Path, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, out)
+}

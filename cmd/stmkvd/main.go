@@ -1,0 +1,118 @@
+// Command stmkvd serves the STM-backed key-value store over HTTP with the
+// online tuning runtime attached: while traffic flows, the runtime meters
+// live commit throughput and re-adapts the TM's lock-table geometry
+// (#locks, #shifts, h) to it.
+//
+// Examples:
+//
+//	stmkvd                                   # listen on :8080, autotune on
+//	stmkvd -addr :9000 -geometry 2^16,0,1    # start at the paper's default
+//	stmkvd -autotune=false -design wt        # static write-through server
+//	stmkvd -period 200ms -samples 1          # fast tuning cadence (demos, CI)
+//
+// Endpoints: GET/PUT/DELETE /kv/{key}, POST /kv/{key}/cas, POST
+// /kv/{key}/add, POST /batch, GET /stats, GET /tuning, GET /healthz. Keys
+// and values are uint64; see internal/kvserver for wire formats. Drive it
+// with cmd/stmkv-loadgen and watch /tuning re-adapt.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tinystm/internal/cliutil"
+	"tinystm/internal/core"
+	"tinystm/internal/kvserver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stmkvd: ")
+
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		space    = flag.Int("space", 1<<22, "transactional arena size in 64-bit words")
+		shards   = flag.Uint64("shards", 16, "store shards (power of two)")
+		buckets  = flag.Uint64("buckets", 64, "initial buckets per shard (power of two)")
+		design   = flag.String("design", "wb", "memory design: wb (write-back) or wt (write-through)")
+		clock    = flag.String("clock", "fetchinc", "commit-clock strategy: fetchinc, lazy, ticket")
+		geometry = flag.String("geometry", "2^8,0,1", "initial lock-table triple locks,shifts,h (accepts 2^k)")
+		autotune = flag.Bool("autotune", true, "attach the online tuning runtime")
+		period   = flag.Duration("period", time.Second, "tuning sample period")
+		samples  = flag.Int("samples", 3, "samples per tuning decision (max kept)")
+		minc     = flag.Uint64("min-commits", 1, "pause tuning below this many commits per period")
+		seed     = flag.Uint64("seed", 42, "tuner move-selection seed")
+	)
+	flag.Parse()
+
+	d, err := cliutil.ParseDesign(*design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs, err := core.ParseClockStrategy(*clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	geo, err := cliutil.ParseParams(*geometry)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := kvserver.New(kvserver.Config{
+		SpaceWords:       *space,
+		Shards:           *shards,
+		Buckets:          *buckets,
+		Design:           d,
+		Clock:            cs,
+		Geometry:         geo,
+		Autotune:         *autotune,
+		Period:           *period,
+		Samples:          *samples,
+		MinPeriodCommits: *minc,
+		Seed:             *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Println("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+	}()
+
+	log.Printf("serving on %s (design=%v clock=%v geometry=%v autotune=%v period=%v)",
+		*addr, d, cs, geo, *autotune, *period)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+
+	// Final report: where the tuner went and what the TM saw.
+	st := srv.TM().Stats()
+	log.Printf("final: params=%v commits=%d aborts=%d reconfigs=%d keys=%d",
+		srv.TM().Params(), st.Commits, st.Aborts, st.Reconfigs, srv.Store().Len())
+	if rt := srv.Runtime(); rt != nil {
+		best, tp := rt.Best()
+		log.Printf("tuner: best=%v at %.0f txs/s over %d periods", best, tp, len(rt.Trace()))
+		for _, ev := range rt.Trace() {
+			fmt.Println("  " + ev.String())
+		}
+	}
+	srv.Close()
+}

@@ -1,0 +1,78 @@
+// Example kvstore: the sharded transactional key-value map used
+// in-process — multi-key atomic batches, optimistic CAS, and the
+// per-shard freeze/rehash growth — with the online tuner re-adapting the
+// TM underneath a phase-shifting service workload.
+//
+// Run: go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"tinystm/internal/core"
+	"tinystm/internal/harness"
+	"tinystm/internal/kvstore"
+	"tinystm/internal/mem"
+	"tinystm/internal/tuning"
+)
+
+func main() {
+	tm := core.MustNew(core.Config{
+		Space: mem.NewSpace(1 << 20),
+		Locks: 1 << 8, // deliberately bad: watch the tuner fix it
+	})
+	s := kvstore.NewStore[*core.Tx](tm, 8, 16)
+	defer s.Close()
+
+	// Single-key operations: each is one STM transaction.
+	s.Put(1, 100)
+	s.Put(2, 100)
+	fmt.Println("balances:", at(s, 1), at(s, 2))
+
+	// A transfer is one multi-key atomic batch: both Adds commit
+	// together or not at all.
+	s.Apply([]kvstore.Op{
+		{Kind: kvstore.OpAdd, Key: 1, Val: ^uint64(29)}, // -30
+		{Kind: kvstore.OpAdd, Key: 2, Val: 30},
+	})
+	fmt.Println("after transfer:", at(s, 1), at(s, 2))
+
+	// Optimistic concurrency over the map: read, then CAS.
+	cur, _ := s.Get(1)
+	fmt.Println("CAS(1):", s.CAS(1, cur, cur*2))
+
+	// Service-shaped load with the autotuner attached: Zipf-skewed keys,
+	// mixed ops, and a calm-to-hot phase flip halfway through.
+	rt := tuning.NewRuntime(tm, tuning.RuntimeConfig{
+		Period: 50 * time.Millisecond, Samples: 1,
+	})
+	if err := rt.Start(); err != nil {
+		panic(err)
+	}
+	m := s.Map()
+	kvstore.Preload[*core.Tx](tm, m, 2048, 1)
+	calm := kvstore.MixOp[*core.Tx](tm, m, kvstore.Mix{Keys: 2048, Theta: 0.5, ReadPct: 90})
+	hot := kvstore.MixOp[*core.Tx](tm, m, kvstore.Mix{Keys: 2048, Theta: 0.99, ReadPct: 20, CASPct: 20, BatchPct: 10})
+	phased := harness.NewPhasedOp(calm, hot)
+	workers := harness.StartWorkers[*core.Tx](tm, 4, 42, phased.Op())
+	time.Sleep(700 * time.Millisecond)
+	phased.SetPhase(1)
+	fmt.Println("--- phase shift: calm -> hot ---")
+	time.Sleep(700 * time.Millisecond)
+	workers.Stop()
+	rt.Stop()
+
+	for _, ev := range rt.Trace() {
+		fmt.Println(ev)
+	}
+	best, tp := rt.Best()
+	st := tm.Stats()
+	fmt.Printf("best %v at %.0f txs/s; %d keys, %d commits, %d reconfigs\n",
+		best, tp, s.Len(), st.Commits, st.Reconfigs)
+}
+
+func at(s *kvstore.Store[*core.Tx], key uint64) uint64 {
+	v, _ := s.Get(key)
+	return v
+}

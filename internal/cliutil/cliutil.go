@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"tinystm/internal/core"
 	"tinystm/internal/experiments"
 	"tinystm/internal/harness"
 )
@@ -96,4 +97,58 @@ func Scale(duration, warmup time.Duration, threads []int, seed uint64, quick boo
 	sc.Seed = seed
 	sc.YieldEvery = yield
 	return sc
+}
+
+// ParseDesign maps a short name to a core memory-access design.
+func ParseDesign(s string) (core.Design, error) {
+	switch strings.ToLower(s) {
+	case "wb", "writeback", "write-back":
+		return core.WriteBack, nil
+	case "wt", "writethrough", "write-through":
+		return core.WriteThrough, nil
+	default:
+		return 0, fmt.Errorf("cliutil: unknown design %q (wb, wt)", s)
+	}
+}
+
+// ParsePow2 parses an unsigned value that may be written either as a
+// plain decimal ("65536") or as a power of two ("2^16").
+func ParsePow2(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	if rest, ok := strings.CutPrefix(s, "2^"); ok {
+		exp, err := strconv.ParseUint(rest, 10, 6)
+		if err != nil || exp > 63 {
+			return 0, fmt.Errorf("cliutil: bad exponent in %q", s)
+		}
+		return 1 << exp, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: bad value %q: %w", s, err)
+	}
+	return v, nil
+}
+
+// ParseParams parses the tunable triple "locks,shifts,h" used by the
+// -geometry flags of cmd/stmkvd and cmd/stmbench. Locks and h accept
+// either decimal or "2^k" notation, so "2^16,0,1" and "65536,0,1" are the
+// same configuration.
+func ParseParams(s string) (core.Params, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return core.Params{}, fmt.Errorf("cliutil: geometry %q must be locks,shifts,h", s)
+	}
+	locks, err := ParsePow2(parts[0])
+	if err != nil {
+		return core.Params{}, err
+	}
+	shifts, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 6)
+	if err != nil {
+		return core.Params{}, fmt.Errorf("cliutil: bad shifts %q: %w", parts[1], err)
+	}
+	hier, err := ParsePow2(parts[2])
+	if err != nil {
+		return core.Params{}, err
+	}
+	return core.Params{Locks: locks, Shifts: uint(shifts), Hier: hier}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"tinystm/internal/core"
 	"tinystm/internal/harness"
 )
 
@@ -86,5 +87,51 @@ func TestScale(t *testing.T) {
 	}
 	if !reflect.DeepEqual(q.Threads, []int{1}) {
 		t.Errorf("quick scale threads not overridden: %+v", q)
+	}
+}
+
+func TestParseDesign(t *testing.T) {
+	if d, err := ParseDesign("wb"); err != nil || d != core.WriteBack {
+		t.Errorf("wb: %v %v", d, err)
+	}
+	if d, err := ParseDesign("WT"); err != nil || d != core.WriteThrough {
+		t.Errorf("WT: %v %v", d, err)
+	}
+	if d, err := ParseDesign("write-through"); err != nil || d != core.WriteThrough {
+		t.Errorf("write-through: %v %v", d, err)
+	}
+	if _, err := ParseDesign("bogus"); err == nil {
+		t.Error("unknown design accepted")
+	}
+}
+
+func TestParsePow2(t *testing.T) {
+	cases := map[string]uint64{"65536": 65536, "2^16": 1 << 16, "2^0": 1, " 2^4 ": 16, "1": 1}
+	for in, want := range cases {
+		got, err := ParsePow2(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePow2(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "2^", "2^64", "2^x", "-4", "four"} {
+		if _, err := ParsePow2(bad); err == nil {
+			t.Errorf("ParsePow2(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	p, err := ParseParams("2^16,0,1")
+	if err != nil || p != (core.Params{Locks: 1 << 16, Shifts: 0, Hier: 1}) {
+		t.Errorf("2^16,0,1: %+v %v", p, err)
+	}
+	p, err = ParseParams("1024, 2, 2^3")
+	if err != nil || p != (core.Params{Locks: 1024, Shifts: 2, Hier: 8}) {
+		t.Errorf("1024,2,2^3: %+v %v", p, err)
+	}
+	for _, bad := range []string{"", "1,2", "1,2,3,4", "x,0,1", "16,-1,1", "16,0,z"} {
+		if _, err := ParseParams(bad); err == nil {
+			t.Errorf("ParseParams(%q) accepted", bad)
+		}
 	}
 }

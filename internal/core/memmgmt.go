@@ -5,6 +5,12 @@ import (
 	"tinystm/internal/txn"
 )
 
+// ErrSpaceExhausted is the panic value of a transactional Alloc that found
+// the arena full (the shared txn sentinel; see txn.ErrSpaceExhausted).
+// Servers that keep running when the store fills — cmd/stmkvd returns 507
+// — match on it and re-panic on anything else.
+var ErrSpaceExhausted = txn.ErrSpaceExhausted
+
 // Transactional memory management (paper Section 3.1, "Memory
 // Management"): allocations made by an aborting transaction are disposed
 // of automatically, and freed memory is not disposed of until commit. A
@@ -23,7 +29,7 @@ func (tx *Tx) Alloc(n int) uint64 {
 	}
 	a := tx.tm.space.Alloc(n)
 	if a == mem.Nil {
-		panic("core: transactional memory space exhausted")
+		panic(ErrSpaceExhausted)
 	}
 	tx.allocs = append(tx.allocs, allocRec{addr: a, words: n})
 	return uint64(a)

@@ -1,0 +1,447 @@
+// Package kvserver is the HTTP face of the STM-backed key-value store:
+// the handler set cmd/stmkvd serves. Every request runs one (or, for
+// batches, exactly one multi-key) transaction against a kvstore.Store,
+// descriptors are borrowed from the store's pool per request, and an
+// attached tuning.Runtime re-adapts the TM's lock-table geometry to the
+// live traffic while the server runs.
+//
+// Endpoints:
+//
+//	GET    /kv/{key}          read one key            -> {"key":k,"val":v}
+//	PUT    /kv/{key}          upsert (body: decimal)  -> {"inserted":bool}
+//	DELETE /kv/{key}          remove                  -> {"deleted":true}
+//	POST   /kv/{key}/cas      body {"old":o,"new":n}  -> {"ok":bool,...}
+//	POST   /kv/{key}/add      body {"delta":d}        -> {"val":new}
+//	POST   /batch             body {"ops":[...]}      -> {"results":[...]}
+//	GET    /stats             TM counters + store size
+//	GET    /tuning            live autotune trace
+//	GET    /healthz           liveness
+//
+// Keys are decimal uint64 path segments; values are uint64.
+package kvserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tinystm/internal/core"
+	"tinystm/internal/kvstore"
+	"tinystm/internal/mem"
+	"tinystm/internal/tuning"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// SpaceWords sizes the transactional arena. Default 1<<22.
+	SpaceWords int
+	// Shards and Buckets shape the store (powers of two). Defaults 16
+	// and 64.
+	Shards, Buckets uint64
+	// Design, Clock and Geometry configure the TM. A zero Geometry
+	// defaults to the deliberately modest (2^8, 0, 1) so a fresh server
+	// visibly adapts under load.
+	Design   core.Design
+	Clock    core.ClockStrategy
+	Geometry core.Params
+	// Autotune attaches a tuning.Runtime (on by default in cmd/stmkvd).
+	Autotune bool
+	// Period, Samples, MinPeriodCommits and Bounds mirror
+	// tuning.RuntimeConfig.
+	Period           time.Duration
+	Samples          int
+	MinPeriodCommits uint64
+	Bounds           tuning.Bounds
+	// Seed drives the tuner's randomized move selection.
+	Seed uint64
+	// Now and After are the runtime's injectable clocks (tests).
+	Now   func() time.Time
+	After func(time.Duration) <-chan time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.SpaceWords == 0 {
+		c.SpaceWords = 1 << 22
+	}
+	if c.Shards == 0 {
+		c.Shards = 16
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 64
+	}
+	if c.Geometry == (core.Params{}) {
+		c.Geometry = core.Params{Locks: 1 << 8, Shifts: 0, Hier: 1}
+	}
+	return c
+}
+
+// Server owns the TM, the store and (optionally) the tuning runtime.
+type Server struct {
+	cfg   Config
+	tm    *core.TM
+	store *kvstore.Store[*core.Tx]
+	rt    *tuning.Runtime
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// validate rejects configurations the lower layers would panic on, so
+// flag mistakes surface as clean errors from New.
+func (c Config) validate() error {
+	if c.SpaceWords < 1<<10 {
+		return fmt.Errorf("kvserver: SpaceWords (%d) must be at least %d", c.SpaceWords, 1<<10)
+	}
+	if c.Shards == 0 || bits.OnesCount64(c.Shards) != 1 {
+		return fmt.Errorf("kvserver: Shards (%d) must be a power of two", c.Shards)
+	}
+	if c.Buckets == 0 || bits.OnesCount64(c.Buckets) != 1 {
+		return fmt.Errorf("kvserver: Buckets (%d) must be a power of two", c.Buckets)
+	}
+	return nil
+}
+
+// New builds the TM, the store and the handler set; with cfg.Autotune it
+// also starts the tuning runtime.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tm, err := core.New(core.Config{
+		Space:  mem.NewSpace(cfg.SpaceWords),
+		Locks:  cfg.Geometry.Locks,
+		Shifts: cfg.Geometry.Shifts,
+		Hier:   cfg.Geometry.Hier,
+		Design: cfg.Design,
+		Clock:  cfg.Clock,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kvserver: %w", err)
+	}
+	s := &Server{
+		cfg:   cfg,
+		tm:    tm,
+		store: kvstore.NewStore[*core.Tx](tm, cfg.Shards, cfg.Buckets),
+		start: time.Now(),
+	}
+	if cfg.Autotune {
+		s.rt = tuning.NewRuntime(tm, tuning.RuntimeConfig{
+			Tuner:            tuning.Config{Initial: cfg.Geometry, Bounds: cfg.Bounds, Seed: cfg.Seed},
+			Period:           cfg.Period,
+			Samples:          cfg.Samples,
+			MinPeriodCommits: cfg.MinPeriodCommits,
+			// A daemon tunes forever: keep only a bounded window of
+			// events in memory (/tuning serves its tail).
+			TraceCap: traceCap,
+			Now:      cfg.Now,
+			After:    cfg.After,
+		})
+		if err := s.rt.Start(); err != nil {
+			s.store.Close()
+			return nil, err
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// TM exposes the underlying STM (tests, stats).
+func (s *Server) TM() *core.TM { return s.tm }
+
+// Store exposes the key-value store.
+func (s *Server) Store() *kvstore.Store[*core.Tx] { return s.store }
+
+// Runtime returns the attached tuning runtime, nil without Autotune.
+func (s *Server) Runtime() *tuning.Runtime { return s.rt }
+
+// Close stops the tuning runtime and releases every pooled descriptor
+// back to the TM (the server-side half of the Tx.Release contract: a
+// shut-down server leaks no descriptor slots).
+func (s *Server) Close() {
+	if s.rt != nil {
+		s.rt.Stop()
+	}
+	s.store.Close()
+}
+
+// Handler returns the root handler: the route mux wrapped in a recover
+// layer that converts arena exhaustion into 507 instead of tearing down
+// the connection's goroutine. Any other panic is a real bug and is
+// re-raised for net/http's connection-level recovery to log.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == core.ErrSpaceExhausted {
+					http.Error(w, core.ErrSpaceExhausted.Error(), http.StatusInsufficientStorage)
+					return
+				}
+				panic(rec)
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /kv/{key}", s.handleGet)
+	s.mux.HandleFunc("PUT /kv/{key}", s.handlePut)
+	s.mux.HandleFunc("DELETE /kv/{key}", s.handleDelete)
+	s.mux.HandleFunc("POST /kv/{key}/cas", s.handleCAS)
+	s.mux.HandleFunc("POST /kv/{key}/add", s.handleAdd)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /tuning", s.handleTuning)
+}
+
+func pathKey(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	k, err := strconv.ParseUint(r.PathValue("key"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad key: "+err.Error(), http.StatusBadRequest)
+		return 0, false
+	}
+	return k, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	key, ok := pathKey(w, r)
+	if !ok {
+		return
+	}
+	val, found := s.store.Get(key)
+	if !found {
+		http.Error(w, "key not found", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"key": key, "val": val})
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	key, ok := pathKey(w, r)
+	if !ok {
+		return
+	}
+	var val uint64
+	if _, err := fmt.Fscan(r.Body, &val); err != nil {
+		http.Error(w, "bad value (want a decimal uint64 body): "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	inserted := s.store.Put(key, val)
+	writeJSON(w, http.StatusOK, map[string]bool{"inserted": inserted})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	key, ok := pathKey(w, r)
+	if !ok {
+		return
+	}
+	if !s.store.Delete(key) {
+		http.Error(w, "key not found", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+}
+
+func (s *Server) handleCAS(w http.ResponseWriter, r *http.Request) {
+	key, ok := pathKey(w, r)
+	if !ok {
+		return
+	}
+	var req struct{ Old, New uint64 }
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	swapped := s.store.CAS(key, req.Old, req.New)
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": swapped})
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	key, ok := pathKey(w, r)
+	if !ok {
+		return
+	}
+	var req struct{ Delta uint64 }
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	val := s.store.Add(key, req.Delta)
+	writeJSON(w, http.StatusOK, map[string]uint64{"val": val})
+}
+
+// wireOp is the JSON form of one batch operation.
+type wireOp struct {
+	Op  string `json:"op"`
+	Key uint64 `json:"key"`
+	Val uint64 `json:"val,omitempty"`
+	Old uint64 `json:"old,omitempty"`
+}
+
+// wireResult is the JSON form of one batch result.
+type wireResult struct {
+	Val   uint64 `json:"val"`
+	Found bool   `json:"found"`
+	OK    bool   `json:"ok"`
+}
+
+// maxBatchOps bounds a single atomic batch: a giant batch is a giant
+// transaction, and past a point it would conflict with everything and
+// starve (the same reason the resize transaction is per-shard).
+const maxBatchOps = 1024
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Ops []wireOp `json:"ops"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Ops) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	if len(req.Ops) > maxBatchOps {
+		http.Error(w, fmt.Sprintf("batch exceeds %d ops", maxBatchOps), http.StatusRequestEntityTooLarge)
+		return
+	}
+	ops := make([]kvstore.Op, len(req.Ops))
+	for i, o := range req.Ops {
+		kind, err := kvstore.ParseOpKind(o.Op)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ops[i] = kvstore.Op{Kind: kind, Key: o.Key, Val: o.Val, Old: o.Old}
+	}
+	res := s.store.Apply(ops)
+	out := make([]wireResult, len(res))
+	for i, r := range res {
+		out[i] = wireResult{Val: r.Val, Found: r.Found, OK: r.OK}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+}
+
+// wireParams is the JSON form of a tunable triple.
+type wireParams struct {
+	Locks  uint64 `json:"locks"`
+	Shifts uint   `json:"shifts"`
+	Hier   uint64 `json:"hier"`
+}
+
+func toWireParams(p core.Params) wireParams {
+	return wireParams{Locks: p.Locks, Shifts: p.Shifts, Hier: p.Hier}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.tm.Stats()
+	minted, free := s.tm.DescriptorCounts()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"design":         s.tm.Design().String(),
+		"clock":          s.tm.Clock().String(),
+		"params":         toWireParams(s.tm.Params()),
+		"keys":           s.store.Len(),
+		"commits":        st.Commits,
+		"aborts":         st.Aborts,
+		"extensions":     st.Extensions,
+		"rollovers":      st.RollOvers,
+		"reconfigs":      st.Reconfigs,
+		"descriptors":    map[string]int{"minted": minted, "free": free},
+	})
+}
+
+// wireEvent is the JSON form of one tuning period.
+type wireEvent struct {
+	Period     int        `json:"period"`
+	Params     wireParams `json:"params"`
+	Throughput float64    `json:"throughput"`
+	Commits    uint64     `json:"commits"`
+	Aborts     uint64     `json:"aborts"`
+	Idle       bool       `json:"idle"`
+	Move       string     `json:"move,omitempty"`
+	Next       wireParams `json:"next"`
+	Err        string     `json:"err,omitempty"`
+}
+
+// traceCap bounds the tuning runtime's retained event window on a
+// long-running server; maxTuningEvents bounds one /tuning response
+// (?limit=N requests fewer).
+const (
+	traceCap        = 4096
+	maxTuningEvents = 512
+)
+
+func (s *Server) handleTuning(w http.ResponseWriter, r *http.Request) {
+	if s.rt == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	limit := maxTuningEvents
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	events := s.rt.Trace()
+	if len(events) > limit {
+		events = events[len(events)-limit:]
+	}
+	out := make([]wireEvent, len(events))
+	reconfigurations := 0
+	for i, e := range events {
+		we := wireEvent{
+			Period:     e.Period,
+			Params:     toWireParams(e.Params),
+			Throughput: e.Throughput,
+			Commits:    e.Commits,
+			Aborts:     e.Aborts,
+			Idle:       e.Idle,
+			Next:       toWireParams(e.Next),
+		}
+		if !e.Idle {
+			we.Move = e.Move.String()
+			if e.Reversed {
+				we.Move = "-" + we.Move
+			}
+		}
+		if e.Err != nil {
+			we.Err = e.Err.Error()
+		}
+		if !e.Idle && e.Next != e.Params && e.Err == nil {
+			reconfigurations++
+		}
+		out[i] = we
+	}
+	best, bestTp := s.rt.Best()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":          true,
+		"running":          s.rt.Running(),
+		"current":          toWireParams(s.rt.Current()),
+		"best":             toWireParams(best),
+		"best_throughput":  bestTp,
+		"reconfigurations": reconfigurations,
+		"reconfigs_total":  s.tm.Stats().Reconfigs,
+		"periods_total":    s.rt.Periods(),
+		"events":           out,
+	})
+}

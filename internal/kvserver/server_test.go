@@ -1,0 +1,279 @@
+package kvserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tinystm/internal/core"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func doJSON(t *testing.T, client *http.Client, method, url string, body string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestEndpointsRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{SpaceWords: 1 << 18, Shards: 4, Buckets: 8})
+	c := ts.Client()
+
+	// Put, get.
+	var ins struct{ Inserted bool }
+	if code := doJSON(t, c, "PUT", ts.URL+"/kv/7", "123", &ins); code != 200 || !ins.Inserted {
+		t.Fatalf("PUT fresh: code=%d inserted=%v", code, ins.Inserted)
+	}
+	var got struct{ Key, Val uint64 }
+	if code := doJSON(t, c, "GET", ts.URL+"/kv/7", "", &got); code != 200 || got.Val != 123 {
+		t.Fatalf("GET: code=%d val=%d", code, got.Val)
+	}
+	// Overwrite is not an insert.
+	if doJSON(t, c, "PUT", ts.URL+"/kv/7", "124", &ins); ins.Inserted {
+		t.Fatal("overwrite reported inserted")
+	}
+	// CAS success and failure.
+	var cas struct{ OK bool }
+	doJSON(t, c, "POST", ts.URL+"/kv/7/cas", `{"old":124,"new":200}`, &cas)
+	if !cas.OK {
+		t.Fatal("CAS with correct old failed")
+	}
+	doJSON(t, c, "POST", ts.URL+"/kv/7/cas", `{"old":999,"new":1}`, &cas)
+	if cas.OK {
+		t.Fatal("CAS with stale old succeeded")
+	}
+	// Add.
+	var add struct{ Val uint64 }
+	doJSON(t, c, "POST", ts.URL+"/kv/7/add", `{"delta":5}`, &add)
+	if add.Val != 205 {
+		t.Fatalf("Add: val=%d want 205", add.Val)
+	}
+	// Batch: atomic multi-key.
+	var batch struct {
+		Results []struct {
+			Val   uint64
+			Found bool
+			OK    bool
+		}
+	}
+	doJSON(t, c, "POST", ts.URL+"/batch",
+		`{"ops":[{"op":"put","key":1,"val":10},{"op":"get","key":1},{"op":"add","key":2,"val":3},{"op":"get","key":404}]}`,
+		&batch)
+	if len(batch.Results) != 4 || !batch.Results[0].OK || batch.Results[1].Val != 10 ||
+		batch.Results[2].Val != 3 || batch.Results[3].Found {
+		t.Fatalf("batch results: %+v", batch.Results)
+	}
+	// Delete and 404s.
+	if code := doJSON(t, c, "DELETE", ts.URL+"/kv/7", "", nil); code != 200 {
+		t.Fatalf("DELETE present: %d", code)
+	}
+	if code := doJSON(t, c, "GET", ts.URL+"/kv/7", "", nil); code != 404 {
+		t.Fatalf("GET deleted: %d", code)
+	}
+	if code := doJSON(t, c, "DELETE", ts.URL+"/kv/7", "", nil); code != 404 {
+		t.Fatalf("DELETE absent: %d", code)
+	}
+	// Bad inputs.
+	if code := doJSON(t, c, "GET", ts.URL+"/kv/notanumber", "", nil); code != 400 {
+		t.Fatalf("bad key: %d", code)
+	}
+	if code := doJSON(t, c, "POST", ts.URL+"/batch", `{"ops":[{"op":"zap","key":1}]}`, nil); code != 400 {
+		t.Fatalf("bad batch op: %d", code)
+	}
+	if code := doJSON(t, c, "POST", ts.URL+"/batch", `{"ops":[]}`, nil); code != 400 {
+		t.Fatalf("empty batch: %d", code)
+	}
+	// Stats endpoint reports the store size.
+	var stats struct {
+		Keys    uint64
+		Commits uint64
+		Params  struct{ Locks uint64 }
+	}
+	doJSON(t, c, "GET", ts.URL+"/stats", "", &stats)
+	if stats.Keys != 2 || stats.Commits == 0 || stats.Params.Locks == 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	// Tuning endpoint without autotune.
+	var tun struct{ Enabled bool }
+	doJSON(t, c, "GET", ts.URL+"/tuning", "", &tun)
+	if tun.Enabled {
+		t.Fatal("tuning reported enabled without autotune")
+	}
+}
+
+// TestAutotuneReconfiguresUnderTraffic is the satellite requirement: a
+// tuning.Runtime-attached server must actually reconfigure the live TM
+// while synthetic HTTP traffic flows. Short periods make the first tuning
+// decision land within milliseconds of traffic starting.
+func TestAutotuneReconfiguresUnderTraffic(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		SpaceWords: 1 << 18, Shards: 4, Buckets: 8,
+		Autotune: true,
+		Period:   5 * time.Millisecond,
+		Samples:  1,
+		Geometry: core.Params{Locks: 1 << 8, Shifts: 0, Hier: 1},
+		Seed:     42,
+	})
+	c := ts.Client()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			n := uint64(id)
+			for !stop.Load() {
+				key := n % 256
+				doJSON(t, c, "PUT", fmt.Sprintf("%s/kv/%d", ts.URL, key), "1", nil)
+				doJSON(t, c, "GET", fmt.Sprintf("%s/kv/%d", ts.URL, key), "", nil)
+				n++
+			}
+		}(i)
+	}
+	defer func() {
+		stop.Store(true)
+		wg.Wait()
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.TM().Stats().Reconfigs >= 1 {
+			// The /tuning endpoint must agree.
+			var tun struct {
+				Enabled          bool
+				Reconfigurations int
+				ReconfigsTotal   uint64 `json:"reconfigs_total"`
+				Events           []json.RawMessage
+			}
+			// Events may trail the Reconfigure by one trace append; poll briefly.
+			for time.Now().Before(deadline) {
+				doJSON(t, c, "GET", ts.URL+"/tuning", "", &tun)
+				if tun.Reconfigurations >= 1 {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			if !tun.Enabled || tun.ReconfigsTotal < 1 || tun.Reconfigurations < 1 || len(tun.Events) == 0 {
+				t.Fatalf("/tuning disagrees with TM: %+v", tun)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no reconfiguration within 10s of synthetic traffic")
+}
+
+// TestServerCloseReleasesDescriptors: handler churn must not leak TM
+// descriptor slots, and Close must return every pooled descriptor.
+func TestServerCloseReleasesDescriptors(t *testing.T) {
+	srv, ts := newTestServer(t, Config{SpaceWords: 1 << 18, Shards: 2, Buckets: 8})
+	c := ts.Client()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for n := 0; n < 500; n++ {
+				doJSON(t, c, "PUT", fmt.Sprintf("%s/kv/%d", ts.URL, n%64), "9", nil)
+			}
+		}(i)
+	}
+	wg.Wait()
+	minted, _ := srv.TM().DescriptorCounts()
+	if minted > 64 {
+		t.Fatalf("server minted %d descriptors for 8 concurrent clients", minted)
+	}
+	srv.Close()
+	minted, free := srv.TM().DescriptorCounts()
+	if minted != free {
+		t.Fatalf("descriptors leaked at shutdown: minted=%d free=%d", minted, free)
+	}
+}
+
+func TestBatchTooLargeRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{SpaceWords: 1 << 16, Shards: 2, Buckets: 8})
+	var buf bytes.Buffer
+	buf.WriteString(`{"ops":[`)
+	for i := 0; i <= maxBatchOps; i++ {
+		if i > 0 {
+			buf.WriteString(",")
+		}
+		fmt.Fprintf(&buf, `{"op":"get","key":%d}`, i)
+	}
+	buf.WriteString(`]}`)
+	resp, err := ts.Client().Post(ts.URL+"/batch", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: code=%d", resp.StatusCode)
+	}
+}
+
+// TestArenaExhaustionReturns507 fills a tiny arena until Alloc fails and
+// checks the server answers 507 for the failing write while staying alive
+// for subsequent requests.
+func TestArenaExhaustionReturns507(t *testing.T) {
+	_, ts := newTestServer(t, Config{SpaceWords: 1 << 10, Shards: 1, Buckets: 4})
+	c := ts.Client()
+	doJSON(t, c, "PUT", ts.URL+"/kv/0", "1", nil)
+
+	saw507 := false
+	for k := uint64(1); k < 1<<10; k++ {
+		code := doJSON(t, c, "PUT", fmt.Sprintf("%s/kv/%d", ts.URL, k), "1", nil)
+		if code == http.StatusInsufficientStorage {
+			saw507 = true
+			break
+		}
+		if code != http.StatusOK {
+			t.Fatalf("unexpected code %d before exhaustion", code)
+		}
+	}
+	if !saw507 {
+		t.Fatal("arena never exhausted")
+	}
+	// The server survives: reads and health checks still work.
+	if code := doJSON(t, c, "GET", ts.URL+"/kv/0", "", nil); code != http.StatusOK {
+		t.Fatalf("server unhealthy after exhaustion: GET -> %d", code)
+	}
+	if code := doJSON(t, c, "GET", ts.URL+"/healthz", "", nil); code != http.StatusOK {
+		t.Fatalf("healthz after exhaustion -> %d", code)
+	}
+}

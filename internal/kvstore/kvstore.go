@@ -1,0 +1,272 @@
+// Package kvstore implements a sharded, transactional, in-memory
+// key-value map whose every word — bucket directories, hash nodes, counts
+// — lives in STM-managed memory. It is the repository's first
+// service-shaped workload: where the intset structures reproduce the
+// paper's microbenchmarks, the kvstore backs an actual server
+// (cmd/stmkvd) whose traffic the online tuning runtime adapts to.
+//
+// Layout inside the mem.Space (all accesses go through txn.Tx, so every
+// operation is a real STM transaction):
+//
+//	shard header (one per shard, padded to 8 words):
+//	    +0  dir      address of the bucket directory
+//	    +1  nbuckets directory length (power of two)
+//	    +2  count    live keys in the shard
+//	bucket directory: nbuckets words, each the head of a node chain (0 = empty)
+//	node: 3 words [key, value, next]
+//
+// A key hashes once; the low bits pick the shard, the high bits the bucket
+// within the shard's directory, so growing one shard never moves keys
+// across shards. Growing is a single freeze/rehash transaction over the
+// shard (Map.Grow): it allocates a doubled directory, relinks every node,
+// frees the old directory and swaps the header — concurrent operations on
+// that shard conflict with it and simply retry, which is the transactional
+// equivalent of a per-shard freeze.
+package kvstore
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tinystm/internal/txn"
+)
+
+const (
+	hdrWords  = 8 // shard header stride (padded: shards land on distinct stripes)
+	hdrDir    = 0
+	hdrNBkts  = 1
+	hdrCount  = 2
+	nodeWords = 3 // [key, value, next]
+
+	// loadFactor is the mean chain length at which NeedsGrow triggers.
+	loadFactor = 4
+	// maxBucketsPerShard caps directory doubling so a pathological
+	// workload cannot ask the arena for unbounded directories.
+	maxBucketsPerShard = 1 << 20
+)
+
+// Map is a transactional hash map from uint64 keys to uint64 values. The
+// Go-side struct holds only immutable placement data (base address, shard
+// count); all mutable state lives in the Space, so any number of
+// goroutines may use a Map concurrently, each through its own descriptor.
+//
+// All methods take the caller's transaction and perform plain
+// transactional loads/stores: they compose freely into larger atomic
+// blocks (multi-key batches, read-modify-write, cross-map transfers).
+type Map[T txn.Tx] struct {
+	base      uint64
+	shards    uint64
+	shardBits uint
+}
+
+// New allocates and initializes a Map with the given shard count and
+// per-shard initial bucket count (both powers of two) inside one
+// transaction of sys.
+func New[T txn.Tx](sys txn.System[T], shards, buckets uint64) *Map[T] {
+	if shards == 0 || bits.OnesCount64(shards) != 1 {
+		panic(fmt.Sprintf("kvstore: shards (%d) must be a power of two", shards))
+	}
+	if buckets == 0 || bits.OnesCount64(buckets) != 1 || buckets > maxBucketsPerShard {
+		panic(fmt.Sprintf("kvstore: buckets (%d) must be a power of two <= %d", buckets, maxBucketsPerShard))
+	}
+	m := &Map[T]{shards: shards, shardBits: uint(bits.TrailingZeros64(shards))}
+	tx := sys.NewTx()
+	defer release(tx)
+	sys.Atomic(tx, func(tx T) {
+		m.base = tx.Alloc(int(shards) * hdrWords)
+		for s := uint64(0); s < shards; s++ {
+			dir := tx.Alloc(int(buckets))
+			hdr := m.base + s*hdrWords
+			tx.Store(hdr+hdrDir, dir)
+			tx.Store(hdr+hdrNBkts, buckets)
+			tx.Store(hdr+hdrCount, 0)
+		}
+	})
+	return m
+}
+
+// release hands a descriptor back when the system supports recycling.
+func release(tx any) {
+	if r, ok := tx.(interface{ Release() }); ok {
+		r.Release()
+	}
+}
+
+// Shards returns the (static) shard count.
+func (m *Map[T]) Shards() uint64 { return m.shards }
+
+// hash is the SplitMix64 finalizer: a full-avalanche mix so dense integer
+// keys (the load generator's Zipf ranks) spread over shards and buckets.
+func hash(key uint64) uint64 {
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Shard returns the shard index key maps to.
+func (m *Map[T]) Shard(key uint64) uint64 { return hash(key) & (m.shards - 1) }
+
+// bucket returns the address of the bucket-head word covering key, reading
+// the shard's directory transactionally.
+func (m *Map[T]) bucket(tx T, key uint64) uint64 {
+	h := hash(key)
+	hdr := m.base + (h&(m.shards-1))*hdrWords
+	dir := tx.Load(hdr + hdrDir)
+	nb := tx.Load(hdr + hdrNBkts)
+	return dir + ((h >> m.shardBits) & (nb - 1))
+}
+
+// lookup walks the chain at key's bucket. It returns the node address and
+// the address of the link pointing at it (the bucket head word or a
+// predecessor's next word); node is 0 when the key is absent.
+func (m *Map[T]) lookup(tx T, key uint64) (node, link uint64) {
+	link = m.bucket(tx, key)
+	for {
+		node = tx.Load(link)
+		if node == 0 {
+			return 0, link
+		}
+		if tx.Load(node) == key {
+			return node, link
+		}
+		link = node + 2
+	}
+}
+
+// Get returns the value stored under key within the caller's transaction.
+func (m *Map[T]) Get(tx T, key uint64) (uint64, bool) {
+	node, _ := m.lookup(tx, key)
+	if node == 0 {
+		return 0, false
+	}
+	return tx.Load(node + 1), true
+}
+
+// Contains reports whether key is present.
+func (m *Map[T]) Contains(tx T, key uint64) bool {
+	node, _ := m.lookup(tx, key)
+	return node != 0
+}
+
+// Put inserts or updates key. It reports whether the key was inserted
+// (false: an existing value was overwritten).
+func (m *Map[T]) Put(tx T, key, val uint64) bool {
+	node, link := m.lookup(tx, key)
+	if node != 0 {
+		tx.Store(node+1, val)
+		return false
+	}
+	n := tx.Alloc(nodeWords)
+	tx.Store(n, key)
+	tx.Store(n+1, val)
+	tx.Store(n+2, 0) // chain tail: lookup stopped at an empty link
+	tx.Store(link, n)
+	m.addCount(tx, key, 1)
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *Map[T]) Delete(tx T, key uint64) bool {
+	node, link := m.lookup(tx, key)
+	if node == 0 {
+		return false
+	}
+	tx.Store(link, tx.Load(node+2))
+	tx.Free(node, nodeWords)
+	m.addCount(tx, key, ^uint64(0))
+	return true
+}
+
+// CAS replaces key's value with new iff the key is present with value old.
+func (m *Map[T]) CAS(tx T, key, old, new uint64) bool {
+	node, _ := m.lookup(tx, key)
+	if node == 0 || tx.Load(node+1) != old {
+		return false
+	}
+	tx.Store(node+1, new)
+	return true
+}
+
+// Add increments key's value by delta (two's-complement, so negative
+// deltas are ^uint64 wraps), inserting the key at delta when absent. It
+// returns the new value. This is the read-modify-write primitive batches
+// need (a Get+Put pair in one batch could not see its own intermediate).
+func (m *Map[T]) Add(tx T, key, delta uint64) uint64 {
+	node, link := m.lookup(tx, key)
+	if node != 0 {
+		v := tx.Load(node+1) + delta
+		tx.Store(node+1, v)
+		return v
+	}
+	n := tx.Alloc(nodeWords)
+	tx.Store(n, key)
+	tx.Store(n+1, delta)
+	tx.Store(n+2, 0)
+	tx.Store(link, n)
+	m.addCount(tx, key, 1)
+	return delta
+}
+
+// addCount adjusts the owning shard's live-key counter.
+func (m *Map[T]) addCount(tx T, key uint64, delta uint64) {
+	c := m.base + m.Shard(key)*hdrWords + hdrCount
+	tx.Store(c, tx.Load(c)+delta)
+}
+
+// Len sums the per-shard counters within the caller's transaction.
+func (m *Map[T]) Len(tx T) uint64 {
+	var n uint64
+	for s := uint64(0); s < m.shards; s++ {
+		n += tx.Load(m.base + s*hdrWords + hdrCount)
+	}
+	return n
+}
+
+// ShardLoad returns shard s's live-key count and bucket count.
+func (m *Map[T]) ShardLoad(tx T, s uint64) (count, buckets uint64) {
+	hdr := m.base + s*hdrWords
+	return tx.Load(hdr + hdrCount), tx.Load(hdr + hdrNBkts)
+}
+
+// NeedsGrow reports whether shard s's mean chain length exceeds the load
+// factor and the directory can still double.
+func (m *Map[T]) NeedsGrow(tx T, s uint64) bool {
+	count, buckets := m.ShardLoad(tx, s)
+	return buckets < maxBucketsPerShard && count > buckets*loadFactor
+}
+
+// Grow doubles shard s's bucket directory and rehashes its chains: the
+// freeze/rehash transaction. Within one atomic block it allocates the new
+// directory, relinks every node (no node is copied — only next pointers
+// and bucket heads change), frees the old directory and swaps the header.
+// The transaction reads and writes the entire shard, so every concurrent
+// operation on the shard conflicts with it and retries after it commits —
+// a per-shard world-freeze enforced by the STM rather than a global
+// barrier. Returns false if the shard no longer needs growing (a
+// concurrent Grow got there first).
+func (m *Map[T]) Grow(tx T, s uint64) bool {
+	if !m.NeedsGrow(tx, s) {
+		return false
+	}
+	hdr := m.base + s*hdrWords
+	dir := tx.Load(hdr + hdrDir)
+	nb := tx.Load(hdr + hdrNBkts)
+	nb2 := nb * 2
+	dir2 := tx.Alloc(int(nb2))
+	for b := uint64(0); b < nb; b++ {
+		node := tx.Load(dir + b)
+		for node != 0 {
+			next := tx.Load(node + 2)
+			h := hash(tx.Load(node))
+			head := dir2 + ((h >> m.shardBits) & (nb2 - 1))
+			tx.Store(node+2, tx.Load(head))
+			tx.Store(head, node)
+			node = next
+		}
+	}
+	tx.Free(dir, int(nb))
+	tx.Store(hdr+hdrDir, dir2)
+	tx.Store(hdr+hdrNBkts, nb2)
+	return true
+}

@@ -1,0 +1,148 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tinystm/internal/core"
+	"tinystm/internal/mem"
+	"tinystm/internal/rng"
+)
+
+// TestBatchTransfersConserveSum is the linearizability-style check for
+// multi-key atomic batches: workers move value between Zipf-hot accounts
+// with two-Add batches while auditors snapshot-read every account in one
+// batch. Atomicity + snapshot isolation means every audit must observe
+// the exact initial total; a torn batch (one Add visible without its
+// counterpart) or a non-snapshot read would break the sum. Run under
+// -race in CI.
+func TestBatchTransfersConserveSum(t *testing.T) {
+	for _, d := range []core.Design{core.WriteBack, core.WriteThrough} {
+		t.Run(d.String(), func(t *testing.T) {
+			tm := core.MustNew(core.Config{Space: mem.NewSpace(1 << 18), Design: d})
+			s := NewStore[*core.Tx](tm, 4, 8)
+			defer s.Close()
+
+			const accounts = 64
+			const initial = 1000
+			for k := uint64(0); k < accounts; k++ {
+				s.Put(k, initial)
+			}
+			const wantTotal = accounts * initial
+
+			var stop atomic.Bool
+			var audits atomic.Uint64
+			var wg sync.WaitGroup
+			errs := make(chan error, 8)
+
+			// Transfer workers: atomic two-account moves.
+			for i := 0; i < 4; i++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					r := rng.NewThread(7, id)
+					for !stop.Load() {
+						from := r.Uint64n(accounts)
+						to := r.Uint64n(accounts)
+						amt := r.Uint64n(10) + 1
+						s.Apply([]Op{
+							{Kind: OpAdd, Key: from, Val: ^(amt - 1)}, // -amt
+							{Kind: OpAdd, Key: to, Val: amt},
+						})
+					}
+				}(i)
+			}
+
+			// Auditors: one read-only batch over every account.
+			ops := make([]Op, accounts)
+			for k := range ops {
+				ops[k] = Op{Kind: OpGet, Key: uint64(k)}
+			}
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for !stop.Load() {
+						res := s.Apply(ops)
+						var total uint64
+						for _, r := range res {
+							if !r.Found {
+								select {
+								case errs <- fmt.Errorf("audit found a missing account"):
+								default:
+								}
+								return
+							}
+							total += r.Val
+						}
+						if total != wantTotal {
+							select {
+							case errs <- fmt.Errorf("audit observed torn total %d, want %d", total, wantTotal):
+								// Total conservation is the whole invariant.
+							default:
+							}
+							return
+						}
+						audits.Add(1)
+					}
+				}()
+			}
+
+			for audits.Load() < 200 {
+				select {
+				case err := <-errs:
+					stop.Store(true)
+					wg.Wait()
+					t.Fatal(err)
+				default:
+					time.Sleep(time.Millisecond)
+				}
+			}
+			stop.Store(true)
+			wg.Wait()
+			select {
+			case err := <-errs:
+				t.Fatal(err)
+			default:
+			}
+			if v, _ := s.Get(0); v == 0 && s.Len() != accounts {
+				t.Fatalf("accounts vanished: Len=%d", s.Len())
+			}
+		})
+	}
+}
+
+// TestCASIncrementsAreExact runs the classic atomicity counter: every
+// increment goes through an optimistic Get+CAS retry loop, so lost
+// updates would show immediately in the final value.
+func TestCASIncrementsAreExact(t *testing.T) {
+	tm := core.MustNew(core.Config{Space: mem.NewSpace(1 << 16)})
+	s := NewStore[*core.Tx](tm, 2, 4)
+	defer s.Close()
+	s.Put(42, 0)
+
+	const workers = 4
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < perWorker; n++ {
+				for {
+					cur, _ := s.Get(42)
+					if s.CAS(42, cur, cur+1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v, _ := s.Get(42); v != workers*perWorker {
+		t.Fatalf("lost updates: counter = %d, want %d", v, workers*perWorker)
+	}
+}

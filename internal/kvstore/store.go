@@ -1,0 +1,244 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"tinystm/internal/txn"
+)
+
+// OpKind names one batch operation.
+type OpKind int
+
+// The batch operation set.
+const (
+	OpGet OpKind = iota
+	OpPut
+	OpDelete
+	OpCAS
+	OpAdd
+)
+
+// String returns the wire name used by cmd/stmkvd's batch endpoint.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpCAS:
+		return "cas"
+	case OpAdd:
+		return "add"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// ParseOpKind maps a wire name to an OpKind.
+func ParseOpKind(s string) (OpKind, error) {
+	switch s {
+	case "get":
+		return OpGet, nil
+	case "put":
+		return OpPut, nil
+	case "delete", "del":
+		return OpDelete, nil
+	case "cas":
+		return OpCAS, nil
+	case "add", "incr":
+		return OpAdd, nil
+	default:
+		return 0, fmt.Errorf("kvstore: unknown op %q (get, put, delete, cas, add)", s)
+	}
+}
+
+// Op is one operation of a multi-key atomic batch. Val is the value for
+// Put, the delta for Add, and the new value for CAS; Old is CAS's expected
+// value.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	Val  uint64
+	Old  uint64
+}
+
+// OpResult is the outcome of one batch operation: Val carries Get's value
+// (and Add's result), Found whether Get/Delete found the key, OK whether
+// CAS succeeded / Put inserted.
+type OpResult struct {
+	Val   uint64
+	Found bool
+	OK    bool
+}
+
+// Store binds a Map to its STM and a descriptor pool, exposing the
+// self-contained operations a server handler calls: each runs exactly one
+// atomic block on a pooled descriptor. The transactional Map methods
+// remain available for callers composing their own blocks.
+type Store[T txn.Tx] struct {
+	sys  txn.System[T]
+	m    *Map[T]
+	pool *TxPool[T]
+}
+
+// NewStore builds the Map inside sys and wraps it.
+func NewStore[T txn.Tx](sys txn.System[T], shards, buckets uint64) *Store[T] {
+	return &Store[T]{sys: sys, m: New[T](sys, shards, buckets), pool: NewTxPool[T](sys)}
+}
+
+// Map exposes the underlying transactional map.
+func (s *Store[T]) Map() *Map[T] { return s.m }
+
+// Close releases the pooled descriptors back to the TM. The Store must be
+// idle.
+func (s *Store[T]) Close() { s.pool.Close() }
+
+// Get returns key's value via a read-only transaction.
+func (s *Store[T]) Get(key uint64) (val uint64, found bool) {
+	tx := s.pool.Get()
+	defer s.pool.Put(tx)
+	s.sys.AtomicRO(tx, func(tx T) { val, found = s.m.Get(tx, key) })
+	return val, found
+}
+
+// Put upserts key and reports whether it was inserted. When the insert
+// tips the owning shard over its load factor, the shard is grown in a
+// follow-up freeze/rehash transaction before Put returns.
+func (s *Store[T]) Put(key, val uint64) (inserted bool) {
+	var grow bool
+	tx := s.pool.Get()
+	defer s.pool.Put(tx)
+	sh := s.m.Shard(key)
+	s.sys.Atomic(tx, func(tx T) {
+		inserted = s.m.Put(tx, key, val)
+		grow = inserted && s.m.NeedsGrow(tx, sh)
+	})
+	if grow {
+		s.tryGrow(tx, sh)
+	}
+	return inserted
+}
+
+// tryGrow runs the freeze/rehash transaction as best-effort housekeeping:
+// the caller's own operation has already committed, so a growth failure —
+// the arena cannot fit a doubled directory — must not surface as an error
+// for an operation that succeeded. The shard keeps serving with longer
+// chains and the next insert retries. Any panic other than the shared
+// exhaustion sentinel keeps propagating.
+func (s *Store[T]) tryGrow(tx T, sh uint64) {
+	defer func() {
+		if r := recover(); r != nil && r != txn.ErrSpaceExhausted {
+			panic(r)
+		}
+	}()
+	s.sys.Atomic(tx, func(tx T) { s.m.Grow(tx, sh) })
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Store[T]) Delete(key uint64) (found bool) {
+	tx := s.pool.Get()
+	defer s.pool.Put(tx)
+	s.sys.Atomic(tx, func(tx T) { found = s.m.Delete(tx, key) })
+	return found
+}
+
+// CAS atomically replaces key's value with new iff it currently is old.
+func (s *Store[T]) CAS(key, old, new uint64) (ok bool) {
+	tx := s.pool.Get()
+	defer s.pool.Put(tx)
+	s.sys.Atomic(tx, func(tx T) { ok = s.m.CAS(tx, key, old, new) })
+	return ok
+}
+
+// Add atomically adds delta to key's value (inserting at delta when
+// absent) and returns the new value.
+func (s *Store[T]) Add(key, delta uint64) (val uint64) {
+	var grow bool
+	tx := s.pool.Get()
+	defer s.pool.Put(tx)
+	sh := s.m.Shard(key)
+	s.sys.Atomic(tx, func(tx T) {
+		val = s.m.Add(tx, key, delta)
+		grow = s.m.NeedsGrow(tx, sh)
+	})
+	if grow {
+		s.tryGrow(tx, sh)
+	}
+	return val
+}
+
+// Len returns the live key count via a read-only transaction.
+func (s *Store[T]) Len() (n uint64) {
+	tx := s.pool.Get()
+	defer s.pool.Put(tx)
+	s.sys.AtomicRO(tx, func(tx T) { n = s.m.Len(tx) })
+	return n
+}
+
+// Apply executes ops as ONE atomic transaction: either every operation's
+// effect commits or none does, and all Gets observe one consistent
+// snapshot. Results are positionally aligned with ops. A batch that only
+// reads runs read-only.
+func (s *Store[T]) Apply(ops []Op) []OpResult {
+	res := make([]OpResult, len(ops))
+	readOnly := true
+	for _, op := range ops {
+		if op.Kind != OpGet {
+			readOnly = false
+			break
+		}
+	}
+	tx := s.pool.Get()
+	defer s.pool.Put(tx)
+	body := func(tx T) {
+		for i, op := range ops {
+			res[i] = OpResult{}
+			switch op.Kind {
+			case OpGet:
+				res[i].Val, res[i].Found = s.m.Get(tx, op.Key)
+			case OpPut:
+				res[i].OK = s.m.Put(tx, op.Key, op.Val)
+				res[i].Found = !res[i].OK
+			case OpDelete:
+				res[i].Found = s.m.Delete(tx, op.Key)
+			case OpCAS:
+				res[i].OK = s.m.CAS(tx, op.Key, op.Old, op.Val)
+			case OpAdd:
+				res[i].Val = s.m.Add(tx, op.Key, op.Val)
+				res[i].OK = true
+			default:
+				panic(fmt.Sprintf("kvstore: unknown batch op %d", int(op.Kind)))
+			}
+		}
+	}
+	if readOnly {
+		s.sys.AtomicRO(tx, body)
+	} else {
+		s.sys.Atomic(tx, body)
+	}
+	s.growTouched(tx, ops)
+	return res
+}
+
+// growTouched runs the freeze/rehash transaction for every shard a batch's
+// inserts pushed past the load factor.
+func (s *Store[T]) growTouched(tx T, ops []Op) {
+	seen := make(map[uint64]bool, 4)
+	for _, op := range ops {
+		if op.Kind != OpPut && op.Kind != OpAdd {
+			continue
+		}
+		sh := s.m.Shard(op.Key)
+		if seen[sh] {
+			continue
+		}
+		seen[sh] = true
+		var grow bool
+		s.sys.AtomicRO(tx, func(tx T) { grow = s.m.NeedsGrow(tx, sh) })
+		if grow {
+			s.tryGrow(tx, sh)
+		}
+	}
+}

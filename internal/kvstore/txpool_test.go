@@ -1,0 +1,78 @@
+package kvstore
+
+import (
+	"sync"
+	"testing"
+
+	"tinystm/internal/core"
+	"tinystm/internal/mem"
+)
+
+// TestTxPoolBoundsMinting is the server-path regression for the PR 2
+// slot-exhaustion fix: tens of thousands of simulated handler lifetimes
+// (borrow a descriptor, run one transaction, return it) must mint no more
+// descriptors than the peak concurrency — a per-request NewTx without
+// Release would blow through maxSlots (2^14) and panic the TM.
+func TestTxPoolBoundsMinting(t *testing.T) {
+	tm := core.MustNew(core.Config{Space: mem.NewSpace(1 << 16)})
+	s := NewStore[*core.Tx](tm, 2, 4)
+	defer s.Close()
+
+	const handlers = 8
+	const requests = 40000 // well past maxSlots = 16384
+	var wg sync.WaitGroup
+	per := requests / handlers
+	for i := 0; i < handlers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for n := 0; n < per; n++ {
+				k := uint64(id*per + n)
+				s.Put(k%128, k)
+				s.Get(k % 128)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	minted, _ := tm.DescriptorCounts()
+	// 1 setup descriptor (NewStore's Map build) + at most one per
+	// concurrently active handler per op; generous 4x slack for races.
+	if minted > 4*handlers+1 {
+		t.Fatalf("pool failed to bound descriptor minting: %d minted for %d concurrent handlers",
+			minted, handlers)
+	}
+}
+
+// TestStoreCloseReleasesDescriptors asserts the satellite requirement
+// directly: after Close, every descriptor the store ever pooled is back on
+// the TM free list, so a server shutdown leaks no slots.
+func TestStoreCloseReleasesDescriptors(t *testing.T) {
+	tm := core.MustNew(core.Config{Space: mem.NewSpace(1 << 16)})
+	s := NewStore[*core.Tx](tm, 2, 4)
+	for k := uint64(0); k < 100; k++ {
+		s.Put(k, k)
+	}
+	s.Close()
+	minted, free := tm.DescriptorCounts()
+	if minted != free {
+		t.Fatalf("store leaked descriptors: minted=%d free=%d", minted, free)
+	}
+}
+
+// TestTxPoolPutAfterClose: a borrower returning its descriptor after
+// shutdown must release it to the TM rather than resurrect the pool.
+func TestTxPoolPutAfterClose(t *testing.T) {
+	tm := core.MustNew(core.Config{Space: mem.NewSpace(1 << 12)})
+	p := NewTxPool[*core.Tx](tm)
+	tx := p.Get()
+	p.Close()
+	p.Put(tx)
+	if p.Idle() != 0 {
+		t.Fatalf("descriptor pooled after Close")
+	}
+	minted, free := tm.DescriptorCounts()
+	if minted != 1 || free != 1 {
+		t.Fatalf("late Put not released: minted=%d free=%d", minted, free)
+	}
+}

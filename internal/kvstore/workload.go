@@ -1,0 +1,122 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"tinystm/internal/harness"
+	"tinystm/internal/rng"
+	"tinystm/internal/txn"
+)
+
+// Mix describes service-shaped KV traffic: a Zipf-skewed key popularity
+// over a bounded keyspace and a read/write/CAS/batch operation mix. It is
+// the kvstore analogue of harness.IntsetParams, usable both closed-loop
+// (harness.StartWorkers / Bench) and open-loop (harness.OpenLoop), and by
+// the HTTP load generator (cmd/stmkv-loadgen) over the wire.
+type Mix struct {
+	// Keys is the keyspace size; operations draw keys in [0, Keys).
+	Keys uint64
+	// Theta is the Zipfian skew in [0, 1): 0 uniform, 0.99 heavily
+	// skewed (YCSB's default).
+	Theta float64
+	// ReadPct is the percentage of single-key Gets. The remainder splits
+	// between CAS (CASPct), atomic batches (BatchPct) and plain Puts.
+	ReadPct int
+	// CASPct is the percentage of compare-and-swap read-modify-writes.
+	CASPct int
+	// BatchPct is the percentage of multi-key atomic batches (BatchSize
+	// Add ops on distinct Zipf-drawn keys).
+	BatchPct int
+	// BatchSize is the number of keys per batch (default 4).
+	BatchSize int
+}
+
+func (x Mix) withDefaults() Mix {
+	if x.Keys == 0 {
+		x.Keys = 1 << 12
+	}
+	if x.BatchSize <= 0 {
+		x.BatchSize = 4
+	}
+	return x
+}
+
+func (x Mix) validate() error {
+	if x.Theta < 0 || x.Theta >= 1 {
+		return fmt.Errorf("kvstore: Mix.Theta (%v) must be in [0, 1)", x.Theta)
+	}
+	if x.ReadPct < 0 || x.CASPct < 0 || x.BatchPct < 0 || x.ReadPct+x.CASPct+x.BatchPct > 100 {
+		return fmt.Errorf("kvstore: Mix percentages (%d read, %d cas, %d batch) must be >= 0 and sum <= 100",
+			x.ReadPct, x.CASPct, x.BatchPct)
+	}
+	return nil
+}
+
+// String renders the mix for table titles and logs.
+func (x Mix) String() string {
+	x = x.withDefaults()
+	return fmt.Sprintf("keys=%d theta=%.2f read=%d%% cas=%d%% batch=%d%%x%d",
+		x.Keys, x.Theta, x.ReadPct, x.CASPct, x.BatchPct, x.BatchSize)
+}
+
+// MixOp builds the per-operation function driving m with mix x. Every
+// invocation draws a Zipf-skewed key and performs one Get / Put / CAS /
+// multi-key batch inside its own atomic block, exactly like a server
+// handler would. The Zipf tables are computed once here and shared; all
+// per-draw state lives in the worker's generator.
+func MixOp[T txn.Tx](sys txn.System[T], m *Map[T], x Mix) harness.OpFunc[T] {
+	x = x.withDefaults()
+	if err := x.validate(); err != nil {
+		panic(err)
+	}
+	zipf := rng.NewZipf(x.Keys, x.Theta)
+	return func(w *Worker, tx T) {
+		key := zipf.Next(w.Rng)
+		switch p := w.Rng.Intn(100); {
+		case p < x.ReadPct:
+			sys.AtomicRO(tx, func(tx T) { m.Get(tx, key) })
+		case p < x.ReadPct+x.CASPct:
+			// Optimistic read-modify-write, the retry loop a client
+			// performs over the wire: read, CAS, give up after one miss
+			// (the workload measures contention, not client persistence).
+			var cur uint64
+			var found bool
+			sys.AtomicRO(tx, func(tx T) { cur, found = m.Get(tx, key) })
+			if found {
+				sys.Atomic(tx, func(tx T) { m.CAS(tx, key, cur, cur+1) })
+			} else {
+				sys.Atomic(tx, func(tx T) { m.Put(tx, key, 1) })
+			}
+		case p < x.ReadPct+x.CASPct+x.BatchPct:
+			sys.Atomic(tx, func(tx T) {
+				for i := 0; i < x.BatchSize; i++ {
+					m.Add(tx, zipf.Next(w.Rng), 1)
+				}
+			})
+		default:
+			sys.Atomic(tx, func(tx T) { m.Put(tx, key, w.Rng.Uint64()) })
+		}
+	}
+}
+
+// Worker aliases harness.Worker so Op's signature reads naturally.
+type Worker = harness.Worker
+
+// Preload inserts every key in [0, keys) with value val, one transaction
+// per key (mirroring how a server's store fills: small write sets, many
+// commits), growing shards as it goes.
+func Preload[T txn.Tx](sys txn.System[T], m *Map[T], keys uint64, val uint64) {
+	tx := sys.NewTx()
+	defer release(tx)
+	for k := uint64(0); k < keys; k++ {
+		var grow bool
+		sh := m.Shard(k)
+		sys.Atomic(tx, func(tx T) {
+			m.Put(tx, k, val)
+			grow = m.NeedsGrow(tx, sh)
+		})
+		if grow {
+			sys.Atomic(tx, func(tx T) { m.Grow(tx, sh) })
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfBounds(t *testing.T) {
+	for _, theta := range []float64{0, 0.5, 0.99} {
+		z := NewZipf(100, theta)
+		r := New(7)
+		for i := 0; i < 10000; i++ {
+			if v := z.Next(r); v >= 100 {
+				t.Fatalf("theta=%v: rank %d out of [0,100)", theta, v)
+			}
+		}
+	}
+}
+
+func TestZipfSkewOrdersRanks(t *testing.T) {
+	const n, draws = 64, 200000
+	z := NewZipf(n, 0.9)
+	r := New(11)
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[z.Next(r)]++
+	}
+	if counts[0] <= counts[n/2] || counts[0] <= counts[n-1] {
+		t.Fatalf("rank 0 (%d draws) not hotter than mid (%d) / tail (%d)",
+			counts[0], counts[n/2], counts[n-1])
+	}
+	// With theta=0.9 over 64 ranks, the top rank alone takes 1/zeta_n of
+	// the mass, about 17%; uniform would give it 1/64 ~ 1.6%.
+	if frac := float64(counts[0]) / draws; frac < 0.12 {
+		t.Fatalf("rank 0 got %.3f of draws; expected heavy skew", frac)
+	}
+}
+
+func TestZipfThetaZeroIsRoughlyUniform(t *testing.T) {
+	const n, draws = 16, 160000
+	z := NewZipf(n, 0)
+	r := New(3)
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[z.Next(r)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.15 {
+			t.Fatalf("theta=0: rank %d count %d deviates from uniform %v", i, c, want)
+		}
+	}
+}
+
+func TestZipfSmallDomains(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3} {
+		z := NewZipf(n, 0.5)
+		r := New(5)
+		for i := 0; i < 1000; i++ {
+			if v := z.Next(r); v >= n {
+				t.Fatalf("n=%d: rank %d out of range", n, v)
+			}
+		}
+	}
+}

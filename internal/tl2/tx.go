@@ -204,7 +204,7 @@ func (tx *Tx) Alloc(n int) uint64 {
 	}
 	a := tx.tm.space.Alloc(n)
 	if a == mem.Nil {
-		panic("tl2: transactional memory space exhausted")
+		panic(txn.ErrSpaceExhausted)
 	}
 	tx.allocs = append(tx.allocs, allocRec{addr: a, words: n})
 	return uint64(a)

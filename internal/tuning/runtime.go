@@ -90,6 +90,12 @@ type RuntimeConfig struct {
 	// must not stall behind a slow observer). Size the buffer to the run
 	// when completeness matters.
 	Trace chan<- Event
+	// TraceCap, when positive, bounds the runtime's retained in-memory
+	// trace to the most recent TraceCap events (oldest dropped). Long-
+	// running servers must set it: at one event per period the unbounded
+	// default grows forever. Zero keeps everything (experiment runs that
+	// read the full path afterwards).
+	TraceCap int
 
 	// Now and After inject a clock for deterministic tests. Defaults:
 	// time.Now and time.After.
@@ -243,7 +249,16 @@ func (r *Runtime) Current() core.Params {
 	return r.tuner.Current()
 }
 
-// Trace returns a copy of the per-period event log.
+// Periods returns the total number of tuning periods observed, including
+// any whose events TraceCap has already evicted from Trace.
+func (r *Runtime) Periods() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.periods
+}
+
+// Trace returns a copy of the per-period event log (the most recent
+// TraceCap events when a cap is configured).
 func (r *Runtime) Trace() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -310,7 +325,7 @@ func (r *Runtime) step(maxTp float64, commits, aborts uint64) {
 		// configuration's quality.
 		ev.Idle = true
 		ev.Next = ev.Params
-		r.trace = append(r.trace, ev)
+		r.appendTrace(ev)
 		r.mu.Unlock()
 		r.emit(ev)
 		return
@@ -332,9 +347,18 @@ func (r *Runtime) step(maxTp float64, commits, aborts uint64) {
 		}
 	}
 	r.mu.Lock()
-	r.trace = append(r.trace, ev)
+	r.appendTrace(ev)
 	r.mu.Unlock()
 	r.emit(ev)
+}
+
+// appendTrace records an event, enforcing TraceCap. Caller holds r.mu.
+func (r *Runtime) appendTrace(ev Event) {
+	r.trace = append(r.trace, ev)
+	if limit := r.cfg.TraceCap; limit > 0 && len(r.trace) > limit {
+		n := copy(r.trace, r.trace[len(r.trace)-limit:])
+		r.trace = r.trace[:n]
+	}
 }
 
 // emit publishes an event on the trace channel without ever blocking.

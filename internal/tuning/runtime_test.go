@@ -356,3 +356,18 @@ func TestRuntimeLiveWorkersPhaseShift(t *testing.T) {
 		t.Error("no reconfigurations reached the TM")
 	}
 }
+
+func TestRuntimeTraceCap(t *testing.T) {
+	r := &Runtime{cfg: RuntimeConfig{TraceCap: 3}.withDefaults()}
+	for i := 0; i < 10; i++ {
+		r.appendTrace(Event{Period: i})
+	}
+	tr := r.Trace()
+	if len(tr) != 3 || tr[0].Period != 7 || tr[2].Period != 9 {
+		t.Fatalf("capped trace wrong: %+v", tr)
+	}
+	if r.Periods() != 0 {
+		// appendTrace does not advance the period counter; step does.
+		t.Fatalf("Periods = %d", r.Periods())
+	}
+}

@@ -7,6 +7,17 @@
 // load/store hot path.
 package txn
 
+import "errors"
+
+// ErrSpaceExhausted is the panic value of a transactional Alloc that
+// found the memory space full, shared by both STM implementations. It is
+// a typed sentinel (not a bare string) so long-running servers can
+// distinguish "out of arena" — survivable: fail the request, keep serving
+// — from an STM invariant violation, which must keep propagating. It
+// unwinds through the Atomic retry loop like any foreign panic: the
+// failed transaction is rolled back first.
+var ErrSpaceExhausted = errors.New("txn: transactional memory space exhausted")
+
 // Tx is the operation set a transaction exposes to transactional code.
 // All addresses are word addresses in the STM's mem.Space (represented as
 // uint64 here to avoid an import cycle with concrete STMs; mem.Addr is a

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# smoke_server.sh — end-to-end service smoke: boot stmkvd with a fast
+# tuning cadence, drive >= 10k operations of open-loop Zipf traffic with a
+# mid-run phase shift through stmkv-loadgen, and assert that the live
+# autotuner actually reconfigured the TM at least once (/tuning) and that
+# the store served the traffic (/stats). CI runs this on every push; it is
+# also runnable locally: ./scripts/smoke_server.sh [bindir]
+set -euo pipefail
+
+BIN="${1:-bin}"
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+LOG="$(mktemp)"
+
+"$BIN/stmkvd" -addr "$ADDR" -period 200ms -samples 1 -geometry 2^8,0,1 >"$LOG" 2>&1 &
+SRV=$!
+trap 'kill $SRV 2>/dev/null || true; cat "$LOG"' EXIT
+
+# Wait for the server to come up.
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 $SRV 2>/dev/null; then echo "stmkvd died at startup"; exit 1; fi
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" >/dev/null
+
+# Open-loop load: 3000 req/s for 5s with a phase shift = 15k scheduled
+# arrivals; -min-ops makes the generator itself fail below 10k completions.
+"$BIN/stmkv-loadgen" -addr "$BASE" -rate 3000 -duration 5s -workers 16 \
+  -keys 2048 -theta 0.9 -shift -min-ops 10000
+
+# The autotuner must have moved the live geometry at least once.
+TUNING="$(curl -sf "$BASE/tuning")"
+STATS="$(curl -sf "$BASE/stats")"
+python3 - "$TUNING" "$STATS" <<'PY'
+import json, sys
+tuning, stats = json.loads(sys.argv[1]), json.loads(sys.argv[2])
+assert tuning["enabled"] and tuning["running"], "tuning runtime not running"
+assert tuning["reconfigurations"] >= 1, f"no reconfiguration events: {tuning}"
+assert stats["reconfigs"] >= 1, f"TM never reconfigured: {stats}"
+assert stats["commits"] >= 10000, f"too few commits: {stats['commits']}"
+assert len(tuning["events"]) >= 5, f"trace too short: {len(tuning['events'])} events"
+print(f"smoke ok: {stats['commits']} commits, {stats['reconfigs']} reconfigs, "
+      f"{len(tuning['events'])} tuning periods, final geometry {stats['params']}")
+PY
+
+kill $SRV
+wait $SRV 2>/dev/null || true
+trap - EXIT
