@@ -8,6 +8,8 @@
 //	stmbench -fig 5               # the Figure 5 size x update surface
 //	stmbench -fig 3 -quick -csv   # fast smoke run, CSV output
 //	stmbench -b skiplist -size 1024 -update 20   # extension workload
+//	stmbench -fig cm -b list -size 256 -update 80   # contention-management sweep
+//	stmbench -cm karma -fig 3     # run a figure under the Karma policy
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"tinystm/internal/cliutil"
+	"tinystm/internal/cm"
 	"tinystm/internal/core"
 	"tinystm/internal/experiments"
 	"tinystm/internal/harness"
@@ -33,7 +36,8 @@ func main() {
 	log.SetPrefix("stmbench: ")
 
 	var (
-		fig      = flag.String("fig", "all", "figure to reproduce: 2, 3, 4, 4r, 5, all, custom, clock, server")
+		fig      = flag.String("fig", "all", "figure to reproduce: 2, 3, 4, 4r, 5, all, custom, clock, cm, server")
+		cmFlag   = flag.String("cm", "suicide", "contention-management policy (suicide, backoff, karma, timestamp, serializer); -fig cm sweeps all five")
 		clock    = flag.String("clock", "fetchinc", "commit-clock strategy for TinySTM points (fetchinc, lazy, ticket); -fig clock sweeps all three")
 		bench    = flag.String("b", "rbtree", "structure for -fig custom (list, rbtree, skiplist, hashset)")
 		size     = flag.Int("size", 4096, "initial elements for -fig custom")
@@ -47,6 +51,7 @@ func main() {
 		repeats  = flag.Int("repeats", 1, "measurements per point (maximum kept)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		autotune = flag.Bool("autotune", false, "run the online auto-tuning runtime against a live workload (uses -b, -size, -update, -threads, -duration; overrides -fig)")
+		tuneCM   = flag.Bool("tune-cm", false, "let -autotune also switch the contention-management policy live")
 		periods  = flag.Int("periods", 30, "tuning periods for -autotune")
 		shift    = flag.Int("shift", 0, "flip the workload phase every N tuning periods for -autotune (0 = half the run)")
 	)
@@ -63,6 +68,11 @@ func main() {
 		log.Fatal(err)
 	}
 	sc.Clock = cs
+	ck, err := cm.ParseKind(*cmFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc.CM = ck
 
 	emit := func(tbl harness.Table) {
 		if *csv {
@@ -78,7 +88,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runAutotune(sc, kind, *size, *update, *periods, *shift, emit)
+		runAutotune(sc, kind, *size, *update, *periods, *shift, *tuneCM, emit)
 		return
 	}
 
@@ -107,6 +117,20 @@ func main() {
 		for _, d := range []core.Design{core.WriteBack, core.WriteThrough} {
 			emit(experiments.SweepClockStrategies(sc, d, defaultGeometry, ip,
 				core.AllClockStrategies).ToTable())
+		}
+	case "cm":
+		// Contention-management sweep: all five policies across thread
+		// counts. Pass a hot mix (-b list -size 256 -update 80, plus
+		// -yield on few-core hosts) to make the policies actually
+		// differ; under light contention they all converge on Suicide's
+		// numbers.
+		kind, err := cliutil.ParseKind(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ip := harness.IntsetParams{Kind: kind, InitialSize: *size, UpdatePct: *update}
+		for _, d := range []core.Design{core.WriteBack, core.WriteThrough} {
+			emit(experiments.SweepCMPolicies(sc, d, defaultGeometry, ip, cm.AllKinds).ToTable())
 		}
 	case "server":
 		// Open-loop service load (the cmd/stmkvd shape, in-process):
@@ -150,8 +174,9 @@ func main() {
 // moves; a mid-run phase shift exercises re-adaptation. It ends with the
 // autotuned-vs-static comparison table.
 func runAutotune(sc experiments.Scale, kind harness.Kind, size, update, periods, shift int,
-	emit func(harness.Table)) {
+	tuneCM bool, emit func(harness.Table)) {
 	ac := experiments.DefaultAutotuneConfig(sc, kind)
+	ac.TuneCM = tuneCM
 	calm := harness.IntsetParams{Kind: kind, InitialSize: size, UpdatePct: update}
 	hot := calm
 	hot.UpdatePct = min(update+60, 100)

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"tinystm/internal/cliutil"
+	"tinystm/internal/cm"
 	"tinystm/internal/core"
 	"tinystm/internal/kvserver"
 )
@@ -45,6 +46,8 @@ func main() {
 		design   = flag.String("design", "wb", "memory design: wb (write-back) or wt (write-through)")
 		clock    = flag.String("clock", "fetchinc", "commit-clock strategy: fetchinc, lazy, ticket")
 		geometry = flag.String("geometry", "2^8,0,1", "initial lock-table triple locks,shifts,h (accepts 2^k)")
+		cmFlag   = flag.String("cm", "suicide", "initial contention-management policy: suicide, backoff, karma, timestamp, serializer")
+		tuneCM   = flag.Bool("tune-cm", true, "let the tuning runtime switch the contention-management policy live (needs -autotune)")
 		autotune = flag.Bool("autotune", true, "attach the online tuning runtime")
 		period   = flag.Duration("period", time.Second, "tuning sample period")
 		samples  = flag.Int("samples", 3, "samples per tuning decision (max kept)")
@@ -65,6 +68,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ck, err := cm.ParseKind(*cmFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	srv, err := kvserver.New(kvserver.Config{
 		SpaceWords:       *space,
@@ -73,7 +80,9 @@ func main() {
 		Design:           d,
 		Clock:            cs,
 		Geometry:         geo,
+		CM:               ck,
 		Autotune:         *autotune,
+		TuneCM:           *autotune && *tuneCM,
 		Period:           *period,
 		Samples:          *samples,
 		MinPeriodCommits: *minc,
@@ -96,8 +105,8 @@ func main() {
 		_ = hs.Shutdown(ctx)
 	}()
 
-	log.Printf("serving on %s (design=%v clock=%v geometry=%v autotune=%v period=%v)",
-		*addr, d, cs, geo, *autotune, *period)
+	log.Printf("serving on %s (design=%v clock=%v geometry=%v cm=%v autotune=%v tune-cm=%v period=%v)",
+		*addr, d, cs, geo, ck, *autotune, *autotune && *tuneCM, *period)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
@@ -105,8 +114,8 @@ func main() {
 
 	// Final report: where the tuner went and what the TM saw.
 	st := srv.TM().Stats()
-	log.Printf("final: params=%v commits=%d aborts=%d reconfigs=%d keys=%d",
-		srv.TM().Params(), st.Commits, st.Aborts, st.Reconfigs, srv.Store().Len())
+	log.Printf("final: params=%v cm=%v commits=%d aborts=%d reconfigs=%d cm-switches=%d keys=%d",
+		srv.TM().Params(), srv.TM().CM(), st.Commits, st.Aborts, st.Reconfigs, st.CMSwitches, srv.Store().Len())
 	if rt := srv.Runtime(); rt != nil {
 		best, tp := rt.Best()
 		log.Printf("tuner: best=%v at %.0f txs/s over %d periods", best, tp, len(rt.Trace()))

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"tinystm/internal/cliutil"
+	"tinystm/internal/cm"
 	"tinystm/internal/experiments"
 	"tinystm/internal/harness"
 )
@@ -39,6 +40,7 @@ func main() {
 		yield_   = flag.Int("yield", 0, "yield after every N loads (multi-core interleaving simulation; 0 = off)")
 		repeats  = flag.Int("repeats", 1, "measurements per point (maximum kept)")
 		csv      = flag.Bool("csv", false, "CSV output")
+		cmFlag   = flag.String("cm", "suicide", "contention-management policy (suicide, backoff, karma, timestamp, serializer)")
 	)
 	flag.Parse()
 
@@ -64,6 +66,11 @@ func main() {
 	}
 	sc := cliutil.Scale(*duration, *warmup, ths, *seed, *quick, *yield_)
 	sc.Repeats = *repeats
+	ck, err := cm.ParseKind(*cmFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc.CM = ck
 	if *quick {
 		// Keep smoke runs small: trim the grid.
 		if len(les) > 3 {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"tinystm/internal/cliutil"
+	"tinystm/internal/cm"
 	"tinystm/internal/core"
 	"tinystm/internal/experiments"
 	"tinystm/internal/harness"
@@ -40,11 +41,16 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "seed")
 		quick    = flag.Bool("quick", false, "milliseconds-scale smoke run")
 		yield    = flag.Int("yield", 0, "yield after every N loads (multi-core interleaving simulation; 0 = off)")
+		cmFlag   = flag.String("cm", "suicide", "contention-management policy (suicide, backoff, karma, timestamp, serializer)")
 		csv      = flag.Bool("csv", false, "CSV output")
 	)
 	flag.Parse()
 
 	kind, err := cliutil.ParseKind(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ck, err := cm.ParseKind(*cmFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,6 +65,7 @@ func main() {
 		*threads = 2
 	}
 	sc.YieldEvery = *yield
+	sc.CM = ck
 
 	tc := experiments.TuneConfig{
 		Kind: kind, Size: *size, UpdatePct: *update,

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"tinystm/internal/cliutil"
+	"tinystm/internal/cm"
 	"tinystm/internal/core"
 	"tinystm/internal/experiments"
 	"tinystm/internal/harness"
@@ -42,6 +43,7 @@ func main() {
 		yield_    = flag.Int("yield", 0, "yield after every N loads (multi-core interleaving simulation; 0 = off)")
 		repeats   = flag.Int("repeats", 1, "measurements per point (maximum kept)")
 		csv       = flag.Bool("csv", false, "CSV output")
+		cmFlag    = flag.String("cm", "suicide", "contention-management policy (suicide, backoff, karma, timestamp, serializer)")
 	)
 	flag.Parse()
 
@@ -51,6 +53,11 @@ func main() {
 	}
 	sc := cliutil.Scale(*duration, *warmup, ths, *seed, *quick, *yield_)
 	sc.Repeats = *repeats
+	ck, err := cm.ParseKind(*cmFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc.CM = ck
 	vp := vacation.Params{
 		Relations: *relations, QueryPct: *queryPct,
 		UserPct: *userPct, QueriesPerTx: *queries,

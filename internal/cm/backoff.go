@@ -1,0 +1,59 @@
+package cm
+
+import "runtime"
+
+// Window returns the randomized-backoff spin window for the given retry
+// count: 2^min(floorExp-1+attempts, capExp) iterations. Zero exponents
+// select the defaults (6 and 16), making the first retry draw from [0,64)
+// — without the floor the first window would be [0,1] and hot conflicts
+// would re-collide immediately — while the cap keeps the worst case at
+// 2^16. core's backoffWindow regression tests pin exactly this shape.
+func Window(attempts int, floorExp, capExp uint) uint64 {
+	if floorExp == 0 {
+		floorExp = 6
+	}
+	if capExp == 0 {
+		capExp = 16
+	}
+	shift := int(floorExp) - 1 + attempts
+	if shift > int(capExp) {
+		shift = int(capExp)
+	}
+	switch {
+	case shift < 0:
+		shift = 0
+	case shift > 62:
+		// A 64-bit shift would make the window 0 and the Spins modulo
+		// divide by zero; Knobs.withDefaults clamps the exponents, but
+		// Window is callable with raw values.
+		shift = 62
+	}
+	return uint64(1) << uint(shift)
+}
+
+// Spins draws the next randomized spin count from the caller's private
+// xorshift state (seeded on first use if zero), uniform over the retry's
+// Window. Splitting the draw from the spinning lets tests observe the
+// distribution without burning cycles.
+func Spins(rng *uint64, attempts int, floorExp, capExp uint) uint64 {
+	x := *rng
+	if x == 0 {
+		x = 0x9e3779b97f4a7c15
+	}
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*rng = x
+	return x % Window(attempts, floorExp, capExp)
+}
+
+// SpinWait busy-waits for the given number of iterations, yielding the
+// processor periodically: on a single-core host an unbroken spin burns the
+// whole scheduler slice while the conflicting transaction waits to run.
+func SpinWait(spins uint64) {
+	for i := uint64(0); i < spins; i++ {
+		if i&255 == 255 {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package cm
+
+import (
+	"testing"
+)
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range AllKinds {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("ParseKind accepted an unknown name")
+	}
+	if !Suicide.Valid() || !Serializer.Valid() || Kind(99).Valid() {
+		t.Error("Valid() wrong")
+	}
+	if len(AllKinds) != NKinds {
+		t.Errorf("AllKinds lists %d kinds, want %d", len(AllKinds), NKinds)
+	}
+}
+
+// Window must reproduce the pre-policy backoff schedule exactly: floor at
+// 2^6 on the first retry, doubling, capped at 2^16.
+func TestWindowFloorAndCap(t *testing.T) {
+	cases := []struct {
+		attempts int
+		want     uint64
+	}{
+		{1, 1 << 6}, {2, 1 << 7}, {5, 1 << 10}, {11, 1 << 16}, {12, 1 << 16}, {100, 1 << 16},
+	}
+	for _, c := range cases {
+		if got := Window(c.attempts, 0, 0); got != c.want {
+			t.Errorf("Window(%d) = %d, want %d", c.attempts, got, c.want)
+		}
+	}
+	// Custom exponents shift the schedule.
+	if got := Window(1, 4, 8); got != 1<<4 {
+		t.Errorf("Window(1,4,8) = %d, want %d", got, 1<<4)
+	}
+	if got := Window(20, 4, 8); got != 1<<8 {
+		t.Errorf("Window(20,4,8) = %d, want %d", got, 1<<8)
+	}
+	// Absurd exponents must never overflow the window to zero (Spins
+	// would divide by it), whether they arrive raw or through Knobs.
+	var rng uint64
+	if w := Window(100, 64, 64); w == 0 {
+		t.Fatal("Window overflowed to 0")
+	}
+	_ = Spins(&rng, 100, 64, 200) // must not panic
+	kn := Knobs{BackoffFloorExp: 64, BackoffCapExp: 70}.withDefaults()
+	if kn.BackoffFloorExp > 32 || kn.BackoffCapExp > 32 || kn.BackoffFloorExp > kn.BackoffCapExp {
+		t.Errorf("knob exponents not clamped: %+v", kn)
+	}
+}
+
+func TestSpinsInWindowAndSeeded(t *testing.T) {
+	var rng uint64 // zero: must self-seed, not divide by modulo of a dead generator
+	seen := false
+	for i := 0; i < 1000; i++ {
+		s := Spins(&rng, 1, 0, 0)
+		if s >= Window(1, 0, 0) {
+			t.Fatalf("draw %d outside window", s)
+		}
+		if s > Window(1, 0, 0)/2 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("draws never reached the upper half of the window")
+	}
+}
+
+// Kill requests are epoch-scoped: a request against attempt n must not
+// doom attempt n+1, and a request pinned to an epoch that already ended
+// must be refused outright.
+func TestKillRequestEpochScoped(t *testing.T) {
+	var s State
+	if s.Epoch() != 0 {
+		t.Error("idle descriptor has a nonzero epoch")
+	}
+	if s.RequestKill(s.Epoch()) {
+		t.Error("RequestKill succeeded with no attempt in flight")
+	}
+	s.BeginAttempt()
+	if s.Doomed() {
+		t.Error("fresh attempt already doomed")
+	}
+	e := s.Epoch()
+	if !s.RequestKill(e) {
+		t.Error("RequestKill failed on a live attempt")
+	}
+	if !s.Doomed() {
+		t.Error("kill request not visible")
+	}
+	s.EndAttempt()
+	if s.Doomed() {
+		t.Error("idle descriptor doomed")
+	}
+	s.BeginAttempt()
+	if s.Doomed() {
+		t.Error("stale kill request doomed the next attempt")
+	}
+	// A verdict decided against the PREVIOUS attempt must be refused:
+	// the victim moved on, there is nothing legal left to kill.
+	if s.RequestKill(e) {
+		t.Error("RequestKill accepted a stale epoch")
+	}
+	if s.Doomed() {
+		t.Error("stale verdict doomed an innocent attempt")
+	}
+	// Nil receivers are safe (unknown owners).
+	var nilState *State
+	if nilState.Epoch() != 0 || nilState.RequestKill(1) {
+		t.Error("nil State not inert")
+	}
+}
+
+// Distinctly seeded descriptors must draw distinct backoff sequences:
+// identical sequences would re-synchronize the very conflicts the jitter
+// is supposed to break up.
+func TestSeededStatesDrawDistinctSequences(t *testing.T) {
+	var a, b State
+	a.Seed(1)
+	b.Seed(2)
+	same := true
+	for i := 0; i < 16; i++ {
+		if Spins(&a.rng, 5, 0, 0) != Spins(&b.rng, 5, 0, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("descriptors seeded differently drew identical spin sequences")
+	}
+}
+
+func TestStateBookkeeping(t *testing.T) {
+	var s State
+	s.NoteAbort(10)
+	s.NoteAbort(5)
+	if s.Priority() != 15 || s.ConsecAborts() != 2 {
+		t.Errorf("prio=%d aborts=%d, want 15, 2", s.Priority(), s.ConsecAborts())
+	}
+	s.NoteCommit()
+	if s.Priority() != 0 || s.ConsecAborts() != 0 || s.Birth() != 0 {
+		t.Error("NoteCommit did not reset the block state")
+	}
+}
+
+func TestKnobsDefaults(t *testing.T) {
+	kn := Knobs{}.withDefaults()
+	if kn.BackoffFloorExp != 6 || kn.BackoffCapExp != 16 || kn.Patience != 1024 {
+		t.Errorf("unexpected defaults: %+v", kn)
+	}
+	if kn.SerializerAbortRatio != 0.5 || kn.SerializerMinAborts != 2 {
+		t.Errorf("unexpected serializer defaults: %+v", kn)
+	}
+	// Explicit values survive.
+	kn = Knobs{BackoffFloorExp: 3, Patience: 7}.withDefaults()
+	if kn.BackoffFloorExp != 3 || kn.Patience != 7 {
+		t.Errorf("explicit knobs overridden: %+v", kn)
+	}
+}
+
+func TestNewConstructsEveryKind(t *testing.T) {
+	for _, k := range AllKinds {
+		p := New(k, Knobs{}, nil)
+		if p.Kind() != k {
+			t.Errorf("New(%v).Kind() = %v", k, p.Kind())
+		}
+	}
+}

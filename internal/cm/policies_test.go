@@ -1,0 +1,165 @@
+package cm
+
+import (
+	"sync"
+	"testing"
+)
+
+// inTx returns a State with an attempt in flight and the given accrued
+// priority.
+func inTx(prio uint64) *State {
+	s := &State{}
+	s.prio.Store(prio)
+	s.BeginAttempt()
+	return s
+}
+
+func TestSuicideAlwaysAborts(t *testing.T) {
+	p := New(Suicide, Knobs{}, nil)
+	if d := p.OnConflict(inTx(0), inTx(100), ReadConflict, 0); d != Abort {
+		t.Errorf("suicide decided %v, want abort", d)
+	}
+}
+
+func TestKarmaDecisions(t *testing.T) {
+	p := New(Karma, Knobs{Patience: 4}, nil)
+	cases := []struct {
+		name   string
+		mine   uint64 // banked (abort-earned) priority
+		theirs uint64
+		spins  int
+		want   Decision
+	}{
+		{"loser aborts", 0, 10, 0, Abort},
+		// Ties go to the lock owner (encounter-time ownership is the
+		// tiebreak): a first-attempt challenger can never kill a
+		// first-attempt owner, however large its in-flight work.
+		{"tie aborts", 10, 10, 0, Abort},
+		{"winner kills first", 20, 10, 0, KillOther},
+		{"winner then waits", 20, 10, 1, Wait},
+		{"patience exhausted", 20, 10, 4, Abort},
+	}
+	for _, c := range cases {
+		self, other := inTx(c.mine), inTx(c.theirs)
+		if d := p.OnConflict(self, other, WriteConflict, c.spins); d != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, d, c.want)
+		}
+	}
+	// Unknown owner: never wait on what cannot be reasoned about.
+	if d := p.OnConflict(inTx(100), nil, ReadConflict, 0); d != Abort {
+		t.Error("karma waited on a nil owner")
+	}
+}
+
+func TestTimestampWaitDie(t *testing.T) {
+	p := New(Timestamp, Knobs{Patience: 4}, nil).(*timestamp)
+	older, younger := inTx(0), inTx(0)
+	p.OnStart(older)
+	p.OnStart(younger)
+	if ob, yb := older.Birth(), younger.Birth(); !(ob != 0 && yb != 0 && ob < yb) {
+		t.Fatalf("births not ordered: %d, %d", ob, yb)
+	}
+	// Younger conflicting with older's lock: dies.
+	if d := p.OnConflict(younger, older, ReadConflict, 0); d != Abort {
+		t.Errorf("younger decided %v, want abort", d)
+	}
+	// Older conflicting with younger's lock: kills, then waits, then
+	// gives up at patience.
+	if d := p.OnConflict(older, younger, ReadConflict, 0); d != KillOther {
+		t.Errorf("older decided %v, want kill", d)
+	}
+	if d := p.OnConflict(older, younger, ReadConflict, 2); d != Wait {
+		t.Errorf("older decided %v, want wait", d)
+	}
+	if d := p.OnConflict(older, younger, ReadConflict, 4); d != Abort {
+		t.Errorf("older decided %v at patience, want abort", d)
+	}
+	// The age survives aborts (a block only gets relatively older) and
+	// clears at commit.
+	younger.NoteAbort(1)
+	b := younger.Birth()
+	p.OnStart(younger)
+	if younger.Birth() != b {
+		t.Error("abort reassigned the age")
+	}
+	younger.NoteCommit()
+	p.OnStart(younger)
+	if younger.Birth() == b || younger.Birth() == 0 {
+		t.Error("commit did not refresh the age")
+	}
+}
+
+// The serializer must hand the token to repeat offenders when the abort
+// ratio is high, keep it across further aborts, and release it at commit
+// (or detach).
+func TestSerializerTokenLifecycle(t *testing.T) {
+	p := New(Serializer, Knobs{SerializerMinAborts: 2}, nil) // nil sampler: ratio pinned to 1
+	s := inTx(0)
+	s.NoteAbort(1)
+	p.OnAbort(s)
+	if s.HoldsToken() {
+		t.Fatal("token granted below the consecutive-abort threshold")
+	}
+	s.NoteAbort(1)
+	p.OnAbort(s) // second abort: acquires
+	if !s.HoldsToken() {
+		t.Fatal("token not granted at the threshold")
+	}
+	// A competitor must now block; prove it by trying a bounded
+	// acquisition from another goroutine after the holder commits.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s2 := inTx(0)
+		s2.NoteAbort(1)
+		s2.NoteAbort(1)
+		p.OnAbort(s2) // blocks until the holder releases
+		if !s2.HoldsToken() {
+			t.Error("second borrower did not get the token")
+		}
+		s2.NoteCommit()
+		p.OnCommit(s2)
+		close(done)
+	}()
+	s.NoteAbort(1)
+	p.OnAbort(s) // still held: no double-acquire deadlock
+	s.NoteCommit()
+	p.OnCommit(s)
+	if s.HoldsToken() {
+		t.Error("commit did not release the token")
+	}
+	wg.Wait()
+	<-done
+
+	// Detach releases too (policy switch / descriptor release path).
+	s.BeginAttempt()
+	s.NoteAbort(1)
+	s.NoteAbort(1)
+	p.OnAbort(s)
+	if !s.HoldsToken() {
+		t.Fatal("token not re-granted")
+	}
+	p.Detach(s)
+	if s.HoldsToken() {
+		t.Error("Detach did not release the token")
+	}
+}
+
+// With a sampler reporting a calm system the serializer must stay out of
+// the way entirely.
+func TestSerializerRespectsAbortRatio(t *testing.T) {
+	commits := uint64(0)
+	sample := func() (uint64, uint64) { return commits, 0 } // zero aborts
+	p := New(Serializer, Knobs{SerializerMinAborts: 1}, sample)
+	s := inTx(0)
+	for i := 0; i < 10; i++ {
+		commits += 100 // plenty of window, all commits
+		s.NoteAbort(1)
+		p.OnAbort(s)
+		if s.HoldsToken() {
+			t.Fatal("serializer engaged on a calm system")
+		}
+	}
+}

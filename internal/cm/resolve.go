@@ -1,0 +1,68 @@
+package cm
+
+import "runtime"
+
+// Outcome is ResolveConflict's verdict.
+type Outcome int
+
+const (
+	// Freed: the contended lock was observed free; retry the access.
+	Freed Outcome = iota
+	// Aborted: the policy decided self should abort.
+	Aborted
+	// Killed: a competitor's kill request arrived while waiting; abort
+	// self as killed.
+	Killed
+)
+
+// ResolveConflict drives the policy wait/kill loop for one conflict: the
+// single implementation of the kill-epoch protocol both STMs call into.
+//
+// probe re-reads the contended lock and returns the current owner's State
+// (nil when the owner cannot be identified) and whether the lock is still
+// owned; it is called once per re-check, between policy consultations.
+//
+// Two invariants live here and nowhere else:
+//
+//   - The owner-epoch snapshot precedes the ownership re-check at the
+//     loop head. Epochs are monotone, so RequestKill — which refuses a
+//     changed epoch — can only doom an attempt that actually held the
+//     lock while we conflicted, never a later innocent attempt of the
+//     same descriptor.
+//   - An ownership handoff restarts the spin count: OnConflict's spins
+//     parameter counts re-checks of one conflict, and winners issue
+//     KillOther only at spins==0 — without the reset a new owner would
+//     never be asked to die.
+func ResolveConflict(pol Policy, self *State, k ConflictKind,
+	probe func() (*State, bool)) Outcome {
+	other, owned := probe()
+	if !owned {
+		return Freed
+	}
+	otherEpoch := other.Epoch()
+	for spins := 0; ; spins++ {
+		cur, owned := probe()
+		if !owned {
+			return Freed
+		}
+		if cur != other {
+			other = cur
+			otherEpoch = other.Epoch()
+			spins = -1
+			continue
+		}
+		switch pol.OnConflict(self, other, k, spins) {
+		case Abort:
+			return Aborted
+		case KillOther:
+			other.RequestKill(otherEpoch)
+		}
+		// Let the owner run before the next re-check. The policy bounds
+		// how often we come back here (its Patience); Suicide-style
+		// policies never reach this.
+		runtime.Gosched()
+		if self.Doomed() {
+			return Killed
+		}
+	}
+}

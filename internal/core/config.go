@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"tinystm/internal/cm"
 	"tinystm/internal/mem"
 )
 
@@ -100,9 +101,20 @@ type Config struct {
 	// Zero selects the design's natural maximum (2^60-ish). Tests use
 	// small values to exercise roll-over.
 	MaxClock uint64
+	// CM selects the contention-management policy consulted on conflicts
+	// and between retries (package cm): Suicide (the paper's immediate
+	// retry; the default), Backoff, Karma, Timestamp or Serializer. The
+	// policy can also be switched on a live TM via SetCM — it is a
+	// dynamic tuning dimension like the (Locks, Shifts, Hier) triple.
+	CM cm.Kind
+	// CMKnobs tunes the selected policy (zero value: the cm package
+	// defaults). The knobs travel with SetCM switches unless overridden.
+	CMKnobs cm.Knobs
 	// BackoffOnAbort enables bounded randomized exponential backoff
-	// between retries (a contention-management extension; the paper
-	// aborts and retries immediately, which remains the default).
+	// between retries.
+	//
+	// Deprecated: the boolean predates Config.CM and maps to CM =
+	// cm.Backoff; it is still honored when CM is unset (Suicide).
 	BackoffOnAbort bool
 	// ConflictSpin bounds how long an access spins waiting for a
 	// foreign lock to be released before aborting. The paper notes a
@@ -125,6 +137,11 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Locks == 0 {
 		c.Locks = 1 << 16
+	}
+	// Backward-compat shim: the legacy boolean selects the Backoff policy
+	// unless a policy was chosen explicitly.
+	if c.BackoffOnAbort && c.CM == cm.Suicide {
+		c.CM = cm.Backoff
 	}
 	if c.Hier == 0 {
 		c.Hier = 1
@@ -181,6 +198,9 @@ func (c Config) validate() error {
 	case FetchInc, Lazy, TicketBatch:
 	default:
 		return fmt.Errorf("core: unknown ClockStrategy %d", int(c.Clock))
+	}
+	if !c.CM.Valid() {
+		return fmt.Errorf("core: unknown contention-management policy %d", int(c.CM))
 	}
 	if c.ClockBatch < 1 || c.ClockBatch > 1024 {
 		return fmt.Errorf("core: ClockBatch (%d) out of range [1,1024]", c.ClockBatch)

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"tinystm/internal/cm"
 	"tinystm/internal/mem"
 )
 
@@ -161,6 +162,9 @@ func TestConfigForCarriesAllFields(t *testing.T) {
 	got := tm.configFor(p)
 	want := base
 	want.Locks, want.Shifts, want.Hier = p.Locks, p.Shifts, p.Hier
+	// The deprecated boolean maps to the Backoff policy in withDefaults,
+	// and configFor reports the configuration as New saw it.
+	want.CM = cm.Backoff
 	if got != want {
 		t.Fatalf("configFor dropped fields:\ngot  %+v\nwant %+v", got, want)
 	}

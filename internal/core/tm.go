@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"tinystm/internal/cm"
 	"tinystm/internal/mem"
 	"tinystm/internal/reclaim"
 	"tinystm/internal/txn"
@@ -19,12 +19,12 @@ type TM struct {
 	space      *mem.Space
 	design     Design
 	maxClock   uint64
-	backoff    bool
 	spin       int
 	yieldN     int
 	hier2      uint64
 	clockStrat ClockStrategy
 	clockBatch uint64
+	cmKnobs    cm.Knobs
 
 	// baseCfg is the defaulted construction-time configuration. configFor
 	// substitutes the tunable triple into a copy, so Reconfigure validates
@@ -39,6 +39,18 @@ type TM struct {
 	// its full snapshot path, CommitAbortCounts is the lock-free fast one.
 	aggCommits atomic.Uint64
 	aggAborts  atomic.Uint64
+
+	// cmh holds the active contention-management policy behind one
+	// pointer load; descriptors pin it per attempt at Begin (like geo),
+	// so SetCM switches policies on a live TM without a freeze.
+	// cmSwitches counts live policy changes (the policy Reconfigs).
+	cmh        atomic.Pointer[cmHolder]
+	cmSwitches atomic.Uint64
+
+	// descsPub is the lock-free owner-slot lookup table: a snapshot of
+	// descs republished on every mint, so conflict resolution can map a
+	// lock word's owner slot to its cm.State without taking mu.
+	descsPub atomic.Pointer[[]*Tx]
 
 	clk clock
 	// clockEpoch invalidates per-descriptor ticket reservations: it is
@@ -65,6 +77,24 @@ type TM struct {
 	retired   txn.Stats
 	rollOvers atomic.Uint64
 	reconfigs atomic.Uint64
+}
+
+// cmHolder wraps the policy interface so it can sit behind one
+// atomic.Pointer (interfaces cannot be stored atomically by themselves).
+type cmHolder struct{ pol cm.Policy }
+
+// policy returns the active contention-management policy.
+func (tm *TM) policy() cm.Policy { return tm.cmh.Load().pol }
+
+// stateOf maps an owner slot to its descriptor's contention-management
+// state; nil when the slot is unknown. Lock-free: conflict resolution runs
+// on the transaction slow path and must not take the registry mutex.
+func (tm *TM) stateOf(slot int) *cm.State {
+	ds := tm.descsPub.Load()
+	if ds == nil || slot < 0 || slot >= len(*ds) {
+		return nil
+	}
+	return &(*ds)[slot].cmst
 }
 
 // drainThreshold is the limbo size at which commits attempt reclamation.
@@ -113,16 +143,17 @@ func New(cfg Config) (*TM, error) {
 		space:      cfg.Space,
 		design:     cfg.Design,
 		maxClock:   cfg.MaxClock,
-		backoff:    cfg.BackoffOnAbort,
 		spin:       cfg.ConflictSpin,
 		yieldN:     cfg.YieldEvery,
 		hier2:      cfg.Hier2,
 		clockStrat: cfg.Clock,
 		clockBatch: cfg.ClockBatch,
+		cmKnobs:    cfg.CMKnobs,
 		baseCfg:    cfg,
 	}
 	tm.fz.init()
 	tm.geo.Store(newGeometry(Params{Locks: cfg.Locks, Shifts: cfg.Shifts, Hier: cfg.Hier}, cfg.Hier2))
+	tm.cmh.Store(&cmHolder{pol: cm.New(cfg.CM, cfg.CMKnobs, tm.CommitAbortCounts)})
 	return tm, nil
 }
 
@@ -151,6 +182,29 @@ func (tm *TM) ClockValue() uint64 { return tm.clk.now() }
 // Clock returns the commit-clock strategy this TM runs.
 func (tm *TM) Clock() ClockStrategy { return tm.clockStrat }
 
+// CM returns the active contention-management policy kind.
+func (tm *TM) CM() cm.Kind { return tm.policy().Kind() }
+
+// SetCM switches the contention-management policy of a live TM. Unlike
+// Reconfigure it needs no world freeze: descriptors pin the policy per
+// attempt at Begin, detach from the old instance (releasing any held
+// resources, e.g. the Serializer token) and pick the new one up on their
+// next attempt. A zero kn keeps the construction-time knobs.
+func (tm *TM) SetCM(k cm.Kind, kn cm.Knobs) error {
+	if !k.Valid() {
+		return fmt.Errorf("core: unknown contention-management policy %d", int(k))
+	}
+	if kn == (cm.Knobs{}) {
+		kn = tm.cmKnobs
+	}
+	prev := tm.CM()
+	tm.cmh.Store(&cmHolder{pol: cm.New(k, kn, tm.CommitAbortCounts)})
+	if k != prev {
+		tm.cmSwitches.Add(1)
+	}
+	return nil
+}
+
 // NewTx registers and returns a fresh transaction descriptor. Descriptors
 // are affine to one goroutine at a time and are reused across
 // transactions; goroutines that exit for good should hand theirs back with
@@ -168,6 +222,7 @@ func (tm *TM) NewTx() *Tx {
 		panic(fmt.Sprintf("core: more than %d transaction descriptors", maxSlots))
 	}
 	tx := &Tx{tm: tm, slot: len(tm.descs), rng: 0x9e3779b97f4a7c15 ^ uint64(len(tm.descs)+1)}
+	tx.cmst.Seed(uint64(tx.slot + 1))
 	tx.ticketNext, tx.ticketEnd = 1, 0 // empty reservation block (next > end)
 	// Start the write sets on their inline segments so small transactions
 	// never touch the heap (the read set is wired in Begin, which owns
@@ -176,6 +231,11 @@ func (tm *TM) NewTx() *Tx {
 	tx.owned = tx.oinline[:0]
 	tx.undo = tx.uinline[:0]
 	tm.descs = append(tm.descs, tx)
+	// Republish the owner-slot lookup snapshot (copy: readers hold the
+	// old slice while append may grow the backing array).
+	pub := make([]*Tx, len(tm.descs))
+	copy(pub, tm.descs)
+	tm.descsPub.Store(&pub)
 	return tx
 }
 
@@ -193,6 +253,14 @@ func (tx *Tx) Release() {
 	if tx.released {
 		panic("core: descriptor released twice")
 	}
+	// Let the policy release anything it granted this descriptor (e.g.
+	// the Serializer token) and clear the carried priority/age so the
+	// next borrower starts fresh.
+	if tx.pol != nil {
+		tx.pol.Detach(&tx.cmst)
+		tx.pol = nil
+	}
+	tx.cmst.NoteCommit()
 	tx.stats.snapshotInto(&tm.retired)
 	tx.stats.reset()
 	tx.released = true
@@ -230,12 +298,17 @@ func (tm *TM) atomic(tx *Tx, fn func(*Tx), ro bool) {
 		tx.attempts++
 		tx.maybeRollOverOnBegin()
 		tx.Begin(ro && !tx.upgr)
+		if tx.attempts == 1 {
+			tx.pol.OnStart(&tx.cmst)
+		}
 		if tx.runBody(fn) && tx.Commit() {
+			tx.pol.OnCommit(&tx.cmst)
 			return
 		}
-		if tm.backoff {
-			tx.backoffWait()
-		}
+		// The attempt failed and rolled back (NoteAbort already accrued
+		// its work as priority); the policy may block here — backoff
+		// spinning, or waiting for the serialization token.
+		tx.pol.OnAbort(&tx.cmst)
 	}
 }
 
@@ -251,10 +324,19 @@ func (tx *Tx) runBody(fn func(*Tx)) (ok bool) {
 			ok = false
 			return
 		}
-		// Foreign panic: roll back cleanly, then propagate.
+		// Foreign panic: roll back cleanly, then propagate. The atomic
+		// block is ending abnormally, so also release anything the
+		// contention-management policy granted (the OnCommit/OnAbort
+		// hooks will not run) and clear the per-block priority/age —
+		// a recovered-and-reused descriptor (kvserver's 507 path) must
+		// not carry them into an unrelated block.
 		if tx.inTx {
 			tx.rollback(txn.AbortExplicit)
 		}
+		if tx.pol != nil {
+			tx.pol.Detach(&tx.cmst)
+		}
+		tx.cmst.NoteCommit()
 		panic(r)
 	}()
 	fn(tx)
@@ -296,42 +378,19 @@ func (tx *Tx) maybeRollOverOnBegin() {
 }
 
 // backoffWindow returns the spin-window size for the given retry count:
-// 2^min(5+attempts, 16) iterations. Without the +5 floor the first retry
-// draws from [0,1] and the second from [0,3] — essentially no backoff at
-// all, so hot conflicts re-collide immediately; the floor makes the first
-// window [0,64) while the cap keeps the worst case at 2^16.
+// 2^min(5+attempts, 16) iterations. The implementation lives in package cm
+// (shared with the Backoff policy); this wrapper keeps the original
+// floor/cap regression tests pinned against the one true schedule.
 func backoffWindow(attempts int) uint64 {
-	shift := 5 + attempts
-	if shift > 16 {
-		shift = 16
-	}
-	return uint64(1) << shift
+	return cm.Window(attempts, 0, 0)
 }
 
 // backoffSpins draws the next randomized spin count from the descriptor's
-// private xorshift state (split from backoffWait so tests can observe the
-// distribution without spinning).
+// private xorshift state (split out so tests can observe the distribution
+// without spinning). The Backoff policy draws from the same generator via
+// its per-descriptor cm.State.
 func (tx *Tx) backoffSpins() uint64 {
-	tx.rng ^= tx.rng << 13
-	tx.rng ^= tx.rng >> 7
-	tx.rng ^= tx.rng << 17
-	return tx.rng % backoffWindow(tx.attempts)
-}
-
-// backoffWait performs bounded randomized exponential backoff using the
-// descriptor's private xorshift state. Only active with
-// Config.BackoffOnAbort.
-func (tx *Tx) backoffWait() {
-	spins := tx.backoffSpins()
-	for i := uint64(0); i < spins; i++ {
-		// Busy wait, but yield periodically: on a single-core host an
-		// unbroken spin burns the whole scheduler slice while the
-		// conflicting transaction waits to run (same pattern as
-		// spinUnlocked).
-		if i&255 == 255 {
-			runtime.Gosched()
-		}
-	}
+	return cm.Spins(&tx.rng, tx.attempts, 0, 0)
 }
 
 // Reconfigure atomically replaces the tunable parameters (#locks, #shifts,
@@ -385,6 +444,7 @@ func (tm *TM) Stats() txn.Stats {
 	tm.mu.Unlock()
 	s.RollOvers = tm.rollOvers.Load()
 	s.Reconfigs = tm.reconfigs.Load()
+	s.CMSwitches = tm.cmSwitches.Load()
 	return s
 }
 

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"tinystm/internal/cm"
 	"tinystm/internal/mem"
 	"tinystm/internal/txn"
 )
@@ -128,6 +129,13 @@ type Tx struct {
 	attempts int // retries of the current atomic block (for backoff)
 	rng      uint64
 
+	// Contention management: cmst is this descriptor's policy-visible
+	// state (priority, age, kill requests — competitors read it through
+	// the TM's slot table); pol pins the active policy per attempt, like
+	// geo, so a live SetCM never splits one attempt across policies.
+	cmst cm.State
+	pol  cm.Policy
+
 	// startEpoch publishes start+1 while the transaction is active (zero
 	// when idle); the reclaimer scans it to find the oldest snapshot any
 	// live transaction may hold.
@@ -192,6 +200,21 @@ func (tx *Tx) Begin(readOnly bool) {
 	} else {
 		tx.opBudget = opBudgetIdle
 	}
+	// Pin the contention-management policy for this attempt; a switched
+	// policy releases whatever the old one granted (Serializer token)
+	// and gets its block-scoped init immediately — a block already
+	// retrying when SetCM lands would otherwise run the new policy
+	// without an OnStart (e.g. no Timestamp age: it would lose every
+	// conflict AND read as killable-youngest to everyone else, starving
+	// exactly the long-retrying transactions wait/die protects).
+	if p := tx.tm.policy(); tx.pol != p {
+		if tx.pol != nil {
+			tx.pol.Detach(&tx.cmst)
+		}
+		tx.pol = p
+		p.OnStart(&tx.cmst)
+	}
+	tx.cmst.BeginAttempt()
 	tx.inTx = true
 	tx.ro = readOnly
 	tx.start = tx.tm.clk.now()
@@ -284,9 +307,24 @@ func (tx *Tx) rollback(kind txn.AbortKind) {
 	tx.stats.abortsByKind[kind].Add(1)
 	tx.tm.aggAborts.Add(1)
 	tx.flushHotCounters()
+	// Bank the attempt's work as contention-management priority (Karma)
+	// and retire the attempt's kill epoch.
+	tx.cmst.NoteAbort(tx.accessCount())
+	tx.cmst.EndAttempt()
 	tx.inTx = false
 	tx.startEpoch.Store(0)
 	tx.tm.fz.exit()
+}
+
+// accessCount reports how many transactional accesses the current attempt
+// performed (reads + writes): the work measure Karma accrues priority
+// from.
+func (tx *Tx) accessCount() uint64 {
+	n := len(tx.wset) + len(tx.undo)
+	for _, part := range tx.rparts {
+		n += len(part)
+	}
+	return uint64(n)
 }
 
 // flushHotCounters moves the attempt's batched plain counters into the
@@ -399,6 +437,9 @@ func (tx *Tx) recordRead(addr uint64, li uint64, ver uint64) {
 // another transaction, a lock word that changed under the read, or a
 // version beyond the snapshot (triggering LSA extension).
 func (tx *Tx) loadSlow(a mem.Addr, li uint64) uint64 {
+	if tx.cmst.Doomed() {
+		tx.abort(txn.AbortKilled)
+	}
 	g := tx.geo
 	var val, ver uint64
 restart:
@@ -408,10 +449,15 @@ restart:
 			if ownerSlot(lw) != tx.slot {
 				// Conflict with another transaction's encounter-time
 				// lock. The paper notes a transaction "can try to wait
-				// for some time or abort immediately. We use the latter
-				// option" — immediate abort is the default; with
-				// ConflictSpin configured we wait boundedly first.
+				// for some time or abort immediately" and picks the
+				// latter; here the configured contention-management
+				// policy decides (Suicide, the default, reproduces the
+				// paper). ConflictSpin still grants a bounded pre-policy
+				// wait.
 				if tx.spinUnlocked(li) {
+					continue restart
+				}
+				if tx.resolveConflict(li, cm.ReadConflict) {
 					continue restart
 				}
 				tx.abort(txn.AbortReadConflict)
@@ -487,11 +533,17 @@ func (tx *Tx) store(addr uint64, v uint64, lockOnly bool) {
 	g := tx.geo
 	li := g.lockIndex(addr)
 
+	if tx.cmst.Doomed() {
+		tx.abort(txn.AbortKilled)
+	}
 	for {
 		lw := g.loadLock(li)
 		if isOwned(lw) {
 			if ownerSlot(lw) != tx.slot {
 				if tx.spinUnlocked(li) {
+					continue
+				}
+				if tx.resolveConflict(li, cm.WriteConflict) {
 					continue
 				}
 				tx.abort(txn.AbortWriteConflict)
@@ -584,6 +636,32 @@ func (tx *Tx) storeOwned(a mem.Addr, v uint64, li uint64, lw uint64, lockOnly bo
 		prevLock: tx.wset[head].prevLock, next: head,
 	})
 	tx.geo.storeLock(li, mkOwned(tx.slot, idx))
+}
+
+// resolveConflict consults the contention-management policy about a lock
+// held by another transaction. It returns true once the lock was observed
+// free (the caller restarts the access) and false when the policy decided
+// to abort; a competitor's kill request arriving while we wait aborts
+// directly as AbortKilled. The wait/kill protocol itself — epoch-pinned
+// cooperative kills, spin-count restart on ownership handoff — lives in
+// cm.ResolveConflict, shared with TL2.
+func (tx *Tx) resolveConflict(li uint64, k cm.ConflictKind) bool {
+	g := tx.geo
+	out := cm.ResolveConflict(tx.pol, &tx.cmst, k,
+		func() (*cm.State, bool) {
+			lw := g.loadLock(li)
+			if !isOwned(lw) {
+				return nil, false
+			}
+			return tx.tm.stateOf(ownerSlot(lw)), true
+		})
+	switch out {
+	case cm.Freed:
+		return true
+	case cm.Killed:
+		tx.abort(txn.AbortKilled)
+	}
+	return false
 }
 
 // spinUnlocked optionally waits — boundedly, to avoid deadlock — for a
@@ -700,6 +778,12 @@ func (tx *Tx) Commit() bool {
 	if !tx.inTx {
 		panic("core: Commit outside transaction")
 	}
+	if tx.cmst.Doomed() {
+		// A competitor's policy asked us to die; honoring it here —
+		// before validation and publication — is always legal.
+		tx.rollback(txn.AbortKilled)
+		return false
+	}
 	if !tx.isUpdate() {
 		// Read-only commit: the incrementally-validated snapshot is
 		// consistent by construction; nothing to validate or publish.
@@ -767,6 +851,8 @@ func (tx *Tx) finishCommit() {
 	tx.stats.commits.Add(1)
 	tx.tm.aggCommits.Add(1)
 	tx.flushHotCounters()
+	tx.cmst.NoteCommit()
+	tx.cmst.EndAttempt()
 	tx.inTx = false
 	tx.startEpoch.Store(0)
 	tx.tm.fz.exit()

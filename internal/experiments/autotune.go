@@ -28,6 +28,10 @@ type AutotuneConfig struct {
 	// from a deliberately bad (2^8, 0, 1).
 	Start  core.Params
 	Bounds tuning.Bounds
+	// TuneCM additionally enables the runtime's adaptive contention-
+	// management controller (the policy ladder beside the geometry
+	// hill-climber).
+	TuneCM bool
 	// Statics are baseline configurations each measured with a fixed
 	// geometry over the Phases[0] workload for the autotuned-vs-static
 	// comparison.
@@ -163,6 +167,7 @@ func AutotuneSweep(sc Scale, ac AutotuneConfig) AutotuneResult {
 	rt := tuning.NewRuntime(tm, tuning.RuntimeConfig{
 		Tuner:  tuning.Config{Initial: ac.Start, Bounds: ac.Bounds, Seed: ac.Seed},
 		Period: ac.Period, Samples: samples, Trace: trace,
+		CM: tuning.CMConfig{Enable: ac.TuneCM},
 	})
 	if err := rt.Start(); err != nil {
 		panic(fmt.Sprintf("experiments: autotune start: %v", err))

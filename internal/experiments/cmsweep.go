@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tinystm/internal/cm"
+	"tinystm/internal/core"
+	"tinystm/internal/harness"
+	"tinystm/internal/txn"
+)
+
+// CMSweep holds throughput, abort and kill rates over the (contention-
+// management policy × threads) grid: the conflict-resolution dimension
+// added on top of the paper's (#locks, #shifts, h) triple. It quantifies
+// when each policy wins: Suicide under light contention (zero overhead),
+// Backoff/Karma/Timestamp as aborts climb, Serializer when retry storms
+// would otherwise livelock.
+type CMSweep struct {
+	Title   string
+	Threads []int
+	Kinds   []cm.Kind
+	// Values[k][t] is throughput at Kinds[k], Threads[t]; Aborts and
+	// Kills are aborts/s and policy-requested kills/s at the same point.
+	Values [][]float64
+	Aborts [][]float64
+	Kills  [][]float64
+}
+
+// ToTable flattens the sweep into rows (policy, threads, throughput,
+// aborts, kills).
+func (r CMSweep) ToTable() harness.Table {
+	tbl := harness.Table{Title: r.Title,
+		Headers: []string{"cm", "threads", "throughput (10^3/s)", "aborts (10^3/s)", "kills (10^3/s)"}}
+	for ki, k := range r.Kinds {
+		for ti, th := range r.Threads {
+			tbl.AddRow(k.String(), th,
+				fmt.Sprintf("%.1f", r.Values[ki][ti]/1000),
+				fmt.Sprintf("%.1f", r.Aborts[ki][ti]/1000),
+				fmt.Sprintf("%.1f", r.Kills[ki][ti]/1000))
+		}
+	}
+	return tbl
+}
+
+// Best returns the policy with the highest throughput at the largest
+// thread count.
+func (r CMSweep) Best() (cm.Kind, float64) {
+	best, bestTp := r.Kinds[0], -1.0
+	last := len(r.Threads) - 1
+	for ki, k := range r.Kinds {
+		if tp := r.Values[ki][last]; tp > bestTp {
+			best, bestTp = k, tp
+		}
+	}
+	return best, bestTp
+}
+
+// SweepCMPolicies measures an intset workload under each contention-
+// management policy across the scale's thread counts (TinySTM; the
+// geometry and clock are fixed so the policy is the one moving part).
+func SweepCMPolicies(sc Scale, d core.Design, geo core.Params,
+	ip harness.IntsetParams, kinds []cm.Kind) CMSweep {
+	sys := TinySTMWB
+	if d == core.WriteThrough {
+		sys = TinySTMWT
+	}
+	r := CMSweep{
+		Title: fmt.Sprintf("cm-policy sweep: %v %v, size=%d, update=%d%%",
+			d, ip.Kind, ip.InitialSize, ip.UpdatePct),
+		Threads: sc.Threads, Kinds: kinds,
+	}
+	for _, k := range kinds {
+		scc := sc
+		scc.CM = k
+		tps := make([]float64, len(sc.Threads))
+		abr := make([]float64, len(sc.Threads))
+		kil := make([]float64, len(sc.Threads))
+		for ti, th := range sc.Threads {
+			p := RunIntsetPoint(scc, sys, geo, ip, th)
+			tps[ti] = p.Throughput
+			abr[ti] = p.AbortRate
+			if secs := p.Result.Duration.Seconds(); secs > 0 {
+				kil[ti] = float64(p.Result.Delta.AbortsByKind[txn.AbortKilled]) / secs
+			}
+		}
+		r.Values = append(r.Values, tps)
+		r.Aborts = append(r.Aborts, abr)
+		r.Kills = append(r.Kills, kil)
+	}
+	return r
+}

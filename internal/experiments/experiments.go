@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"tinystm/internal/cm"
 	"tinystm/internal/core"
 	"tinystm/internal/harness"
 	"tinystm/internal/mem"
@@ -74,6 +75,10 @@ type Scale struct {
 	// point (see core.ClockStrategy). The zero value is the paper's
 	// fetch-and-increment baseline; TL2 points ignore it.
 	Clock core.ClockStrategy
+	// CM selects the contention-management policy for every measured
+	// point, in both STMs (see cm.Kind). The zero value is the paper's
+	// abort-immediately Suicide.
+	CM cm.Kind
 }
 
 // PaperScale approximates the paper's measurement effort.
@@ -126,7 +131,7 @@ func newCoreTM(sc Scale, d core.Design, p core.Params) *core.TM {
 	sp := mem.NewSpace(sc.SpaceWords)
 	return core.MustNew(core.Config{
 		Space: sp, Locks: p.Locks, Shifts: p.Shifts, Hier: p.Hier, Design: d,
-		YieldEvery: sc.YieldEvery, Clock: sc.Clock,
+		YieldEvery: sc.YieldEvery, Clock: sc.Clock, CM: sc.CM,
 	})
 }
 
@@ -135,6 +140,7 @@ func newTL2TM(sc Scale, p core.Params) *tl2.TM {
 	sp := mem.NewSpace(sc.SpaceWords)
 	return tl2.MustNew(tl2.Config{
 		Space: sp, Locks: p.Locks, Shifts: p.Shifts, YieldEvery: sc.YieldEvery,
+		CM: sc.CM,
 	})
 }
 

@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"time"
 
+	"tinystm/internal/cm"
 	"tinystm/internal/core"
 	"tinystm/internal/kvstore"
 	"tinystm/internal/mem"
@@ -47,8 +48,14 @@ type Config struct {
 	Design   core.Design
 	Clock    core.ClockStrategy
 	Geometry core.Params
+	// CM is the initial contention-management policy (default Suicide).
+	CM cm.Kind
 	// Autotune attaches a tuning.Runtime (on by default in cmd/stmkvd).
 	Autotune bool
+	// TuneCM additionally enables the runtime's adaptive policy
+	// controller: the conflict-resolution policy becomes a live tuning
+	// dimension next to the lock-table geometry. Requires Autotune.
+	TuneCM bool
 	// Period, Samples, MinPeriodCommits and Bounds mirror
 	// tuning.RuntimeConfig.
 	Period           time.Duration
@@ -117,6 +124,7 @@ func New(cfg Config) (*Server, error) {
 		Hier:   cfg.Geometry.Hier,
 		Design: cfg.Design,
 		Clock:  cfg.Clock,
+		CM:     cfg.CM,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("kvserver: %w", err)
@@ -133,6 +141,7 @@ func New(cfg Config) (*Server, error) {
 			Period:           cfg.Period,
 			Samples:          cfg.Samples,
 			MinPeriodCommits: cfg.MinPeriodCommits,
+			CM:               tuning.CMConfig{Enable: cfg.TuneCM},
 			// A daemon tunes forever: keep only a bounded window of
 			// events in memory (/tuning serves its tail).
 			TraceCap: traceCap,
@@ -355,6 +364,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"design":         s.tm.Design().String(),
 		"clock":          s.tm.Clock().String(),
 		"params":         toWireParams(s.tm.Params()),
+		"cm":             s.tm.CM().String(),
+		"cm_switches":    st.CMSwitches,
 		"keys":           s.store.Len(),
 		"commits":        st.Commits,
 		"aborts":         st.Aborts,
@@ -375,7 +386,10 @@ type wireEvent struct {
 	Idle       bool       `json:"idle"`
 	Move       string     `json:"move,omitempty"`
 	Next       wireParams `json:"next"`
+	CM         string     `json:"cm,omitempty"`
+	NextCM     string     `json:"next_cm,omitempty"`
 	Err        string     `json:"err,omitempty"`
+	CMErr      string     `json:"cm_err,omitempty"`
 }
 
 // traceCap bounds the tuning runtime's retained event window on a
@@ -424,6 +438,15 @@ func (s *Server) handleTuning(w http.ResponseWriter, r *http.Request) {
 				we.Move = "-" + we.Move
 			}
 		}
+		if s.cfg.TuneCM {
+			we.CM = e.CM.String()
+			if e.CMSwitched {
+				we.NextCM = e.NextCM.String()
+			}
+			if e.CMErr != nil {
+				we.CMErr = e.CMErr.Error()
+			}
+		}
 		if e.Err != nil {
 			we.Err = e.Err.Error()
 		}
@@ -433,15 +456,20 @@ func (s *Server) handleTuning(w http.ResponseWriter, r *http.Request) {
 		out[i] = we
 	}
 	best, bestTp := s.rt.Best()
+	st := s.tm.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"enabled":          true,
-		"running":          s.rt.Running(),
-		"current":          toWireParams(s.rt.Current()),
-		"best":             toWireParams(best),
-		"best_throughput":  bestTp,
-		"reconfigurations": reconfigurations,
-		"reconfigs_total":  s.tm.Stats().Reconfigs,
-		"periods_total":    s.rt.Periods(),
-		"events":           out,
+		"enabled":           true,
+		"running":           s.rt.Running(),
+		"current":           toWireParams(s.rt.Current()),
+		"best":              toWireParams(best),
+		"best_throughput":   bestTp,
+		"reconfigurations":  reconfigurations,
+		"reconfigs_total":   st.Reconfigs,
+		"periods_total":     s.rt.Periods(),
+		"cm":                s.tm.CM().String(),
+		"cm_tuning":         s.cfg.TuneCM,
+		"cm_switches":       s.rt.CMSwitches(),
+		"cm_switches_total": st.CMSwitches,
+		"events":            out,
 	})
 }

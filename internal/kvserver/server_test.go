@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"tinystm/internal/cm"
 	"tinystm/internal/core"
 )
 
@@ -275,5 +276,106 @@ func TestArenaExhaustionReturns507(t *testing.T) {
 	}
 	if code := doJSON(t, c, "GET", ts.URL+"/healthz", "", nil); code != http.StatusOK {
 		t.Fatalf("healthz after exhaustion -> %d", code)
+	}
+}
+
+// The /stats and /tuning payloads must report the live contention-
+// management policy and its switch counts (the policy analogue of the
+// reconfiguration counters).
+func TestTuningReportsCMPolicy(t *testing.T) {
+	// A one-hour period keeps the live controller from ever completing a
+	// tuning period during the test: every cm/switch-count assertion
+	// below would otherwise race against its first decision (a calm
+	// first period legitimately de-escalates).
+	srv, ts := newTestServer(t, Config{
+		SpaceWords: 1 << 18, Shards: 2, Buckets: 8,
+		Autotune: true, TuneCM: true,
+		CM:      cm.Karma,
+		Period:  time.Hour,
+		Samples: 1,
+		Seed:    42,
+	})
+	c := ts.Client()
+
+	var stats struct {
+		CM         string `json:"cm"`
+		CMSwitches uint64 `json:"cm_switches"`
+	}
+	doJSON(t, c, "GET", ts.URL+"/stats", "", &stats)
+	if stats.CM != "karma" || stats.CMSwitches != 0 {
+		t.Fatalf("/stats cm = %q switches = %d, want karma, 0", stats.CM, stats.CMSwitches)
+	}
+
+	var tun struct {
+		Enabled         bool   `json:"enabled"`
+		CM              string `json:"cm"`
+		CMTuning        bool   `json:"cm_tuning"`
+		CMSwitches      int    `json:"cm_switches"`
+		CMSwitchesTotal uint64 `json:"cm_switches_total"`
+		Events          []struct {
+			CM string `json:"cm"`
+		} `json:"events"`
+	}
+	doJSON(t, c, "GET", ts.URL+"/tuning", "", &tun)
+	if !tun.Enabled || !tun.CMTuning || tun.CM != "karma" {
+		t.Fatalf("/tuning cm fields wrong: %+v", tun)
+	}
+
+	// A live switch (here applied directly, as the controller would via
+	// SetCM) must show up in both payloads.
+	if err := srv.TM().SetCM(cm.Backoff, cm.Knobs{}); err != nil {
+		t.Fatal(err)
+	}
+	doJSON(t, c, "GET", ts.URL+"/stats", "", &stats)
+	if stats.CM != "backoff" || stats.CMSwitches != 1 {
+		t.Fatalf("/stats after switch: cm = %q switches = %d, want backoff, 1", stats.CM, stats.CMSwitches)
+	}
+	doJSON(t, c, "GET", ts.URL+"/tuning", "", &tun)
+	if tun.CM != "backoff" || tun.CMSwitchesTotal != 1 {
+		t.Fatalf("/tuning after switch: cm = %q total = %d, want backoff, 1", tun.CM, tun.CMSwitchesTotal)
+	}
+
+	// On a fast cadence, periods fire even when idle and their events
+	// must carry the active policy name (a separate server: here the
+	// controller is free to run and may legitimately switch policies, so
+	// only the field's presence is asserted).
+	_, fast := newTestServer(t, Config{
+		SpaceWords: 1 << 18, Shards: 2, Buckets: 8,
+		Autotune: true, TuneCM: true,
+		CM:      cm.Karma,
+		Period:  5 * time.Millisecond,
+		Samples: 1,
+		Seed:    42,
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		doJSON(t, fast.Client(), "GET", fast.URL+"/tuning", "", &tun)
+		if len(tun.Events) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no tuning events within 10s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if tun.Events[0].CM == "" {
+		t.Fatal("tuning events do not carry the active policy")
+	}
+}
+
+// Without TuneCM the /tuning payload must say so and leave events
+// unannotated.
+func TestTuningWithoutCMController(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		SpaceWords: 1 << 18, Shards: 2, Buckets: 8,
+		Autotune: true, Period: 5 * time.Millisecond, Samples: 1,
+	})
+	var tun struct {
+		Enabled  bool `json:"enabled"`
+		CMTuning bool `json:"cm_tuning"`
+	}
+	doJSON(t, ts.Client(), "GET", ts.URL+"/tuning", "", &tun)
+	if !tun.Enabled || tun.CMTuning {
+		t.Fatalf("cm_tuning = %v, want false", tun.CMTuning)
 	}
 }

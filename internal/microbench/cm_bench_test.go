@@ -1,0 +1,66 @@
+package microbench
+
+import (
+	"testing"
+
+	"tinystm/internal/cm"
+	"tinystm/internal/core"
+	"tinystm/internal/mem"
+)
+
+// Contention-management benchmarks. Two questions matter for the policy
+// hook on the hot path:
+//
+//  1. What does the hook cost when nothing conflicts? (BenchmarkCMHook*:
+//     single-threaded update transactions — the policy's OnStart/OnCommit
+//     interface calls are the only addition over the pre-policy code.)
+//  2. How do the policies compare when everything conflicts?
+//     (BenchmarkCMContended*: GOMAXPROCS goroutines incrementing one hot
+//     word — a pure retry storm where the policy choice dominates.)
+
+func cmTM(b *testing.B, k cm.Kind) *core.TM {
+	b.Helper()
+	return core.MustNew(core.Config{
+		Space: mem.NewSpace(1 << 16), Locks: 1 << 10, CM: k,
+		CMKnobs: cm.Knobs{SerializerMinAborts: 1},
+	})
+}
+
+func benchmarkCMHook(b *testing.B, k cm.Kind) {
+	tm := cmTM(b, k)
+	tx := tm.NewTx()
+	var a uint64
+	tm.Atomic(tx, func(t *core.Tx) { a = t.Alloc(1) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Atomic(tx, func(t *core.Tx) { t.Store(a, t.Load(a)+1) })
+	}
+}
+
+func BenchmarkCMHookSuicide(b *testing.B)    { benchmarkCMHook(b, cm.Suicide) }
+func BenchmarkCMHookBackoff(b *testing.B)    { benchmarkCMHook(b, cm.Backoff) }
+func BenchmarkCMHookKarma(b *testing.B)      { benchmarkCMHook(b, cm.Karma) }
+func BenchmarkCMHookTimestamp(b *testing.B)  { benchmarkCMHook(b, cm.Timestamp) }
+func BenchmarkCMHookSerializer(b *testing.B) { benchmarkCMHook(b, cm.Serializer) }
+
+func benchmarkCMContended(b *testing.B, k cm.Kind) {
+	tm := cmTM(b, k)
+	setup := tm.NewTx()
+	var a uint64
+	tm.Atomic(setup, func(t *core.Tx) { a = t.Alloc(1) })
+	setup.Release()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		tx := tm.NewTx()
+		defer tx.Release()
+		for pb.Next() {
+			tm.Atomic(tx, func(t *core.Tx) { t.Store(a, t.Load(a)+1) })
+		}
+	})
+}
+
+func BenchmarkCMContendedSuicide(b *testing.B)    { benchmarkCMContended(b, cm.Suicide) }
+func BenchmarkCMContendedBackoff(b *testing.B)    { benchmarkCMContended(b, cm.Backoff) }
+func BenchmarkCMContendedKarma(b *testing.B)      { benchmarkCMContended(b, cm.Karma) }
+func BenchmarkCMContendedTimestamp(b *testing.B)  { benchmarkCMContended(b, cm.Timestamp) }
+func BenchmarkCMContendedSerializer(b *testing.B) { benchmarkCMContended(b, cm.Serializer) }

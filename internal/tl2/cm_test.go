@@ -1,0 +1,98 @@
+package tl2
+
+import (
+	"sync"
+	"testing"
+
+	"tinystm/internal/cm"
+	"tinystm/internal/mem"
+	"tinystm/internal/rng"
+)
+
+// The bank-invariant stress must hold under every contention-management
+// policy: TL2's hook sits on the speculative-read conflict and the
+// commit-time lock acquisition, where waits and kills are the dangerous
+// cases (locks are held while waiting).
+func TestBankInvariantAllPolicies(t *testing.T) {
+	for _, k := range cm.AllKinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			tm, _ := newTestTM(t, func(c *Config) {
+				c.CM = k
+				c.CMKnobs = cm.Knobs{SerializerMinAborts: 1}
+			})
+			const accounts = 32
+			const initial = 100
+			setup := tm.NewTx()
+			var base uint64
+			tm.Atomic(setup, func(tx *Tx) {
+				base = tx.Alloc(accounts)
+				for i := uint64(0); i < accounts; i++ {
+					tx.Store(base+i, initial)
+				}
+			})
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					r := rng.NewThread(11, id)
+					tx := tm.NewTx()
+					for i := 0; i < 300; i++ {
+						from := uint64(r.Intn(accounts))
+						to := uint64(r.Intn(accounts))
+						tm.Atomic(tx, func(tx *Tx) {
+							f := tx.Load(base + from)
+							if f < 1 {
+								return
+							}
+							tx.Store(base+from, f-1)
+							tx.Store(base+to, tx.Load(base+to)+1)
+						})
+					}
+				}(w)
+			}
+			wg.Wait()
+			tm.Atomic(setup, func(tx *Tx) {
+				var sum uint64
+				for j := uint64(0); j < accounts; j++ {
+					sum += tx.Load(base + j)
+				}
+				if sum != accounts*initial {
+					t.Errorf("money not conserved under %v: %d", k, sum)
+				}
+			})
+		})
+	}
+}
+
+func TestConfigRejectsBadCM(t *testing.T) {
+	sp := mem.NewSpace(1 << 12)
+	if _, err := New(Config{Space: sp, CM: cm.Kind(42)}); err == nil {
+		t.Fatal("New accepted an invalid CM kind")
+	}
+	tm, err := New(Config{Space: sp, CM: cm.Timestamp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.CM() != cm.Timestamp {
+		t.Errorf("CM() = %v", tm.CM())
+	}
+}
+
+// CommitAbortCounts (the Serializer's sampler) must be monotonic and match
+// Stats at quiescence.
+func TestCommitAbortCountsMatchesStats(t *testing.T) {
+	tm, _ := newTestTM(t, nil)
+	tx := tm.NewTx()
+	var a uint64
+	tm.Atomic(tx, func(tx *Tx) { a = tx.Alloc(1) })
+	for i := 0; i < 50; i++ {
+		tm.Atomic(tx, func(tx *Tx) { tx.Store(a, tx.Load(a)+1) })
+	}
+	c, ab := tm.CommitAbortCounts()
+	s := tm.Stats()
+	if c != s.Commits || ab != s.Aborts {
+		t.Fatalf("CommitAbortCounts = (%d,%d), Stats = (%d,%d)", c, ab, s.Commits, s.Aborts)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"tinystm/internal/cm"
 	"tinystm/internal/mem"
 	"tinystm/internal/txn"
 )
@@ -42,6 +43,10 @@ type Tx struct {
 	allocs []allocRec
 	frees  []allocRec
 
+	// cmst is the contention-management state competitors reach through
+	// the TM's slot table (priority, age, kill requests).
+	cmst cm.State
+
 	startEpoch atomic.Uint64
 
 	// lastCommitTS records the write version of the most recent update
@@ -72,6 +77,7 @@ func (tx *Tx) Begin(readOnly bool) {
 	if tx.inTx {
 		panic("tl2: Begin on descriptor already in a transaction")
 	}
+	tx.cmst.BeginAttempt()
 	tx.inTx = true
 	tx.ro = readOnly
 	tx.yieldEvery = tx.tm.yieldN
@@ -102,6 +108,8 @@ func (tx *Tx) rollback(kind txn.AbortKind) {
 	}
 	tx.aborts.Add(1)
 	tx.abortsByKind[kind].Add(1)
+	tx.cmst.NoteAbort(uint64(len(tx.rset) + len(tx.wset)))
+	tx.cmst.EndAttempt()
 	tx.inTx = false
 	tx.startEpoch.Store(0)
 }
@@ -119,10 +127,30 @@ func (tx *Tx) runBody(fn func(*Tx)) (ok bool) {
 		if tx.inTx {
 			tx.rollback(txn.AbortExplicit)
 		}
+		// The atomic block ends abnormally: release any policy-held
+		// resources (the OnCommit/OnAbort hooks will not run) and clear
+		// the per-block priority/age so a reused descriptor starts
+		// fresh.
+		tx.tm.pol.Detach(&tx.cmst)
+		tx.cmst.NoteCommit()
 		panic(r)
 	}()
 	fn(tx)
 	return true
+}
+
+// resolveConflict consults the contention-management policy about a lock
+// held by another transaction; the wait/kill protocol itself lives in
+// cm.ResolveConflict, shared with core.
+func (tx *Tx) resolveConflict(li uint64, k cm.ConflictKind) cm.Outcome {
+	return cm.ResolveConflict(tx.tm.pol, &tx.cmst, k,
+		func() (*cm.State, bool) {
+			lw := tx.tm.loadLock(li)
+			if !isOwned(lw) {
+				return nil, false
+			}
+			return tx.tm.stateOf(ownerSlot(lw)), true
+		})
 }
 
 // Load returns the word at addr under TL2's read rule: speculative reads
@@ -153,6 +181,16 @@ func (tx *Tx) Load(addr uint64) uint64 {
 	var val uint64
 	for {
 		if isOwned(lw) {
+			// Speculative read hit a committing writer's lock: the
+			// contention-management policy decides (the reference TL2
+			// aborts immediately, which Suicide reproduces).
+			switch tx.resolveConflict(li, cm.ReadConflict) {
+			case cm.Freed:
+				lw = tx.tm.loadLock(li)
+				continue
+			case cm.Killed:
+				tx.abort(txn.AbortKilled)
+			}
 			tx.abort(txn.AbortReadConflict)
 		}
 		val = tx.tm.space.Load(a)
@@ -235,32 +273,56 @@ func (tx *Tx) Commit() bool {
 	if !tx.inTx {
 		panic("tl2: Commit outside transaction")
 	}
+	if tx.cmst.Doomed() {
+		// A competitor's policy asked us to die; before any lock is
+		// acquired or value published this is always legal.
+		tx.rollback(txn.AbortKilled)
+		return false
+	}
 	if len(tx.wset) == 0 {
 		tx.lastCommitTS = 0
 		tx.commits.Add(1)
+		tx.cmst.NoteCommit()
+		tx.cmst.EndAttempt()
 		tx.inTx = false
 		tx.startEpoch.Store(0)
 		return true
 	}
 
-	// Phase 1: lock the write set (abort on any conflict; the reference
-	// implementation spins briefly, which is a contention-management
-	// choice orthogonal to the algorithm).
+	// Phase 1: lock the write set. On conflict the contention-management
+	// policy decides (the reference implementation aborts, possibly
+	// after a brief spin — exactly the Suicide/Backoff pair). Waiting
+	// here happens while holding locks, so the kill-request checkpoint
+	// below keeps cycles from deadlocking: one of the parties notices it
+	// was asked to die and releases.
 	for _, e := range tx.wset {
 		li := tx.tm.lockIndex(uint64(e.addr))
-		lw := tx.tm.loadLock(li)
-		if isOwned(lw) {
-			if ownerSlot(lw) == tx.slot {
-				continue // stripe already locked by an earlier entry
+		for {
+			lw := tx.tm.loadLock(li)
+			if isOwned(lw) {
+				if ownerSlot(lw) == tx.slot {
+					break // stripe already locked by an earlier entry
+				}
+				if tx.cmst.Doomed() {
+					tx.rollback(txn.AbortKilled)
+					return false
+				}
+				switch tx.resolveConflict(li, cm.WriteConflict) {
+				case cm.Freed:
+					continue
+				case cm.Killed:
+					tx.rollback(txn.AbortKilled)
+					return false
+				}
+				tx.rollback(txn.AbortWriteConflict)
+				return false
 			}
-			tx.rollback(txn.AbortWriteConflict)
-			return false
+			if tx.tm.casLock(li, lw, mkOwned(tx.slot, len(tx.acquired))) {
+				tx.acquired = append(tx.acquired, lockRec{lockIdx: li, prevLock: lw})
+				break
+			}
+			// CAS lost a race: re-read the lock word and re-decide.
 		}
-		if !tx.tm.casLock(li, lw, mkOwned(tx.slot, len(tx.acquired))) {
-			tx.rollback(txn.AbortWriteConflict)
-			return false
-		}
-		tx.acquired = append(tx.acquired, lockRec{lockIdx: li, prevLock: lw})
 	}
 
 	// Phase 2: write version.
@@ -315,6 +377,8 @@ func (tx *Tx) Commit() bool {
 	}
 	tx.lastCommitTS = wv
 	tx.commits.Add(1)
+	tx.cmst.NoteCommit()
+	tx.cmst.EndAttempt()
 	tx.inTx = false
 	tx.startEpoch.Store(0)
 	if len(tx.frees) > 0 {

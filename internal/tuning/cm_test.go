@@ -1,0 +1,332 @@
+package tuning
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tinystm/internal/cm"
+	"tinystm/internal/core"
+)
+
+// cmTuner unit tests: the ladder climber is a pure decision engine.
+
+func TestCMTunerEscalatesOnHighAbortRatio(t *testing.T) {
+	ct := newCMTuner(CMConfig{Enable: true, HoldPeriods: 1}, cm.Suicide)
+	next, switched := ct.step(1000, 10, 90, true) // ratio 0.9
+	if !switched || next != cm.Backoff {
+		t.Fatalf("step = (%v, %v), want escalate to backoff", next, switched)
+	}
+	// Hold: the fresh policy runs unchallenged for HoldPeriods.
+	if next, switched = ct.step(1000, 10, 90, true); switched {
+		t.Fatalf("switched during hold to %v", next)
+	}
+	if next, switched = ct.step(1000, 10, 90, true); !switched || next != cm.Karma {
+		t.Fatalf("step = (%v, %v), want escalate to karma after hold", next, switched)
+	}
+}
+
+func TestCMTunerRetreatsToBestOnThroughputDrop(t *testing.T) {
+	ct := newCMTuner(CMConfig{Enable: true, HoldPeriods: 1}, cm.Suicide)
+	// Suicide measures 10000 at a healthy ratio: no move.
+	if _, switched := ct.step(10000, 100, 1, true); switched {
+		t.Fatal("moved off a healthy best policy")
+	}
+	// Livelock storm: escalate to backoff...
+	if next, _ := ct.step(9000, 10, 90, true); next != cm.Backoff {
+		t.Fatal("did not escalate")
+	}
+	ct.step(2000, 100, 1, true) // hold period: the fresh policy gets its grace
+	// ...then backoff keeps measuring far below the best seen, at a calm
+	// ratio: retreat to the winner.
+	next, switched := ct.step(2000, 100, 1, true)
+	if !switched || next != cm.Suicide {
+		t.Fatalf("step = (%v, %v), want retreat to suicide", next, switched)
+	}
+	if ct.switches() != 2 {
+		t.Errorf("switches = %d, want 2", ct.switches())
+	}
+}
+
+func TestCMTunerDeescalatesWhenCalm(t *testing.T) {
+	ct := newCMTuner(CMConfig{Enable: true, HoldPeriods: 1}, cm.Karma)
+	next, switched := ct.step(5000, 1000, 1, true) // ratio ~0.001: probe down
+	if !switched || next != cm.Backoff {
+		t.Fatalf("step = (%v, %v), want de-escalate to backoff", next, switched)
+	}
+	ct.step(2000, 1000, 1, true) // hold period
+	// The rung below then measures much worse: back up it goes.
+	next, switched = ct.step(2000, 1000, 1, true)
+	if !switched || next != cm.Karma {
+		t.Fatalf("step = (%v, %v), want retreat to karma", next, switched)
+	}
+	ct.step(5000, 1000, 1, true) // hold period
+	// And with karma re-measured best and the floor known-worse, calm
+	// ratios no longer bounce it down: the memory damps oscillation.
+	if next, switched = ct.step(5000, 1000, 1, true); switched {
+		t.Fatalf("oscillated down again to %v", next)
+	}
+}
+
+func TestCMTunerStartOffLadder(t *testing.T) {
+	ct := newCMTuner(CMConfig{Enable: true, Ladder: []cm.Kind{cm.Karma, cm.Serializer}, HoldPeriods: 0}, cm.Suicide)
+	if got := ct.current(); got != cm.Suicide {
+		t.Fatalf("current = %v, want the system's actual policy", got)
+	}
+	if next, switched := ct.step(100, 5, 95, true); !switched || next != cm.Karma {
+		t.Fatalf("first escalation = %v, want karma (first ladder rung)", next)
+	}
+}
+
+// cmVirtualEnv is a fake CMSystem under a fake clock: commits and aborts
+// accrue at a synthetic rate/abort-ratio profile that depends on both the
+// geometry and the contention-management policy. Deterministic end to end.
+type cmVirtualEnv struct {
+	mu          sync.Mutex
+	now         time.Time
+	commits     uint64
+	aborts      uint64
+	params      core.Params
+	kind        cm.Kind
+	profile     func(core.Params, cm.Kind) (rate, abortRatio float64)
+	ticks       int
+	maxTicks    int
+	reached     chan struct{}
+	reachedOnce sync.Once
+	cmSwitches  int
+}
+
+func newCMVirtualEnv(start core.Params, kind cm.Kind,
+	profile func(core.Params, cm.Kind) (float64, float64), maxTicks int) *cmVirtualEnv {
+	return &cmVirtualEnv{
+		now: time.Unix(0, 0), params: start, kind: kind,
+		profile: profile, maxTicks: maxTicks, reached: make(chan struct{}),
+	}
+}
+
+func (v *cmVirtualEnv) CommitAbortCounts() (uint64, uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.commits, v.aborts
+}
+
+func (v *cmVirtualEnv) Reconfigure(p core.Params) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.params = p
+	return nil
+}
+
+func (v *cmVirtualEnv) Params() core.Params {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.params
+}
+
+func (v *cmVirtualEnv) CM() cm.Kind {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.kind
+}
+
+func (v *cmVirtualEnv) SetCM(k cm.Kind, _ cm.Knobs) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.kind = k
+	v.cmSwitches++
+	return nil
+}
+
+func (v *cmVirtualEnv) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+func (v *cmVirtualEnv) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if v.ticks >= v.maxTicks {
+		v.reachedOnce.Do(func() { close(v.reached) })
+		return ch // never fires; the runtime parks until Stop
+	}
+	v.ticks++
+	v.now = v.now.Add(d)
+	rate, ar := v.profile(v.params, v.kind)
+	dc := rate * d.Seconds()
+	v.commits += uint64(dc)
+	if ar > 0 && ar < 1 {
+		v.aborts += uint64(dc * ar / (1 - ar)) // so aborts/(commits+aborts) == ar
+	}
+	ch <- v.now
+	return ch
+}
+
+// The acceptance scenario: a livelock-prone configuration (Suicide under a
+// retry storm) that no geometry move can fix — only a policy switch drops
+// the abort rate. The runtime, on a fully deterministic fake clock, must
+// escape by climbing the policy ladder, the observed abort ratio must
+// drop, and the final (geometry, policy) point must yield throughput
+// within 10% of the best the run ever saw.
+func TestRuntimeEscapesLivelockBySwitchingPolicy(t *testing.T) {
+	start := p(8, 0, 1)
+	opt := p(16, 2, 4)
+	geom := synthetic(opt) // geometry component: peaks at opt
+	// Policy component: Suicide livelocks (high abort ratio, tiny
+	// throughput); heavier policies trade a little overhead for
+	// progressively saner abort rates, peaking at Karma.
+	base := map[cm.Kind]struct{ factor, ratio float64 }{
+		cm.Suicide:    {0.10, 0.92},
+		cm.Backoff:    {0.45, 0.70},
+		cm.Karma:      {1.00, 0.30},
+		cm.Timestamp:  {0.90, 0.25},
+		cm.Serializer: {0.70, 0.04},
+	}
+	profile := func(pp core.Params, k cm.Kind) (float64, float64) {
+		b := base[k]
+		return geom(pp) * b.factor, b.ratio
+	}
+	const periods = 300
+	env := newCMVirtualEnv(start, cm.Suicide, profile, periods*3)
+	rt := NewRuntime(env, RuntimeConfig{
+		Tuner:   Config{Initial: start, Seed: 7},
+		Period:  time.Second,
+		Samples: 3,
+		CM:      CMConfig{Enable: true},
+		Now:     env.Now,
+		After:   env.After,
+	})
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	<-env.reached
+	rt.Stop()
+
+	trace := rt.Trace()
+	if len(trace) < periods-1 {
+		t.Fatalf("trace has %d events, want ~%d", len(trace), periods)
+	}
+	switched := 0
+	bestTp := 0.0
+	for _, ev := range trace {
+		if ev.CMSwitched {
+			switched++
+		}
+		if ev.Throughput > bestTp {
+			bestTp = ev.Throughput
+		}
+	}
+	if switched == 0 || rt.CMSwitches() == 0 || env.cmSwitches == 0 {
+		t.Fatal("runtime never switched the contention-management policy")
+	}
+	if final := rt.CM(); final == cm.Suicide {
+		t.Fatal("runtime is still on the livelock-prone policy")
+	}
+	// The abort ratio must have dropped: compare the first period against
+	// the last.
+	ratio := func(ev Event) float64 {
+		if ev.Commits+ev.Aborts == 0 {
+			return 0
+		}
+		return float64(ev.Aborts) / float64(ev.Commits+ev.Aborts)
+	}
+	firstR, lastR := ratio(trace[0]), ratio(trace[len(trace)-1])
+	if lastR >= firstR {
+		t.Errorf("abort ratio did not drop: %.2f -> %.2f", firstR, lastR)
+	}
+	if lastR > 0.5 {
+		t.Errorf("final abort ratio %.2f still in livelock territory", lastR)
+	}
+	// Final (geometry, policy) throughput within 10% of the best seen.
+	finalRate, _ := profile(env.Params(), env.CM())
+	if finalRate < bestTp*0.9 {
+		t.Errorf("final point yields %.0f, more than 10%% below best seen %.0f (params %v, cm %v)",
+			finalRate, bestTp, env.Params(), env.CM())
+	}
+}
+
+// Same seed, same profile: the combined geometry+policy walk must be
+// reproducible event for event (the controller adds no nondeterminism).
+func TestRuntimeCMDeterministicUnderSeed(t *testing.T) {
+	profile := func(pp core.Params, k cm.Kind) (float64, float64) {
+		r := synthetic(p(14, 1, 2))(pp)
+		if k == cm.Suicide {
+			return r * 0.2, 0.8
+		}
+		return r, 0.1
+	}
+	run := func() []Event {
+		env := newCMVirtualEnv(p(8, 0, 1), cm.Suicide, profile, 80*3)
+		rt := NewRuntime(env, RuntimeConfig{
+			Tuner: Config{Initial: p(8, 0, 1), Seed: 42}, Period: time.Second,
+			Samples: 3, CM: CMConfig{Enable: true}, Now: env.Now, After: env.After,
+		})
+		if err := rt.Start(); err != nil {
+			t.Fatal(err)
+		}
+		<-env.reached
+		rt.Stop()
+		return rt.Trace()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("trace lengths differ or empty: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at period %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// Enabling the controller against a System that cannot switch policies
+// must fail loudly at Start, not silently tune nothing.
+func TestRuntimeCMRequiresCMSystem(t *testing.T) {
+	env := newVirtualEnv(p(8, 0, 1), synthetic(p(12, 0, 1)), 10)
+	rt := NewRuntime(env, RuntimeConfig{
+		Tuner: Config{Initial: p(8, 0, 1), Seed: 1}, CM: CMConfig{Enable: true},
+		Now: env.Now, After: env.After,
+	})
+	if err := rt.Start(); err == nil {
+		rt.Stop()
+		t.Fatal("Start succeeded without a CMSystem")
+	}
+}
+
+// The live core.TM satisfies CMSystem and applies switches end to end.
+func TestCoreTMIsCMSystem(t *testing.T) {
+	var _ CMSystem = (*core.TM)(nil)
+}
+
+// A ladder containing invalid kinds must be sanitized before the
+// controller can climb onto a rung SetCM would reject.
+func TestCMConfigDropsInvalidLadderKinds(t *testing.T) {
+	cfg := CMConfig{Enable: true, Ladder: []cm.Kind{cm.Suicide, cm.Kind(9), cm.Karma}}.withDefaults()
+	if len(cfg.Ladder) != 2 || cfg.Ladder[0] != cm.Suicide || cfg.Ladder[1] != cm.Karma {
+		t.Fatalf("ladder not sanitized: %v", cfg.Ladder)
+	}
+	// All-invalid ladders fall back to the default.
+	cfg = CMConfig{Enable: true, Ladder: []cm.Kind{cm.Kind(9)}}.withDefaults()
+	if len(cfg.Ladder) != len(cm.AllKinds) {
+		t.Fatalf("all-invalid ladder did not fall back: %v", cfg.Ladder)
+	}
+}
+
+// A failed SetCM must roll the controller back so its rung tracking never
+// drifts from the policy actually installed.
+func TestCMTunerRevertOnFailedSwitch(t *testing.T) {
+	ct := newCMTuner(CMConfig{Enable: true, HoldPeriods: 1}, cm.Suicide)
+	next, switched := ct.step(1000, 10, 90, true)
+	if !switched || next != cm.Backoff {
+		t.Fatalf("step = (%v, %v), want escalate", next, switched)
+	}
+	ct.revert()
+	if ct.current() != cm.Suicide || ct.switches() != 0 {
+		t.Fatalf("revert left cur=%v switches=%d", ct.current(), ct.switches())
+	}
+	// The escalation trigger fires again on the next period (no hold).
+	if next, switched = ct.step(1000, 10, 90, true); !switched || next != cm.Backoff {
+		t.Fatalf("retry after revert = (%v, %v), want escalate", next, switched)
+	}
+}

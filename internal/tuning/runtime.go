@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"tinystm/internal/cm"
 	"tinystm/internal/core"
 )
 
@@ -47,9 +48,18 @@ type Event struct {
 	Reversed bool
 	// Next is the configuration installed for the following period.
 	Next core.Params
+	// CM is the contention-management policy live during the period and
+	// NextCM the one installed for the following period; CMSwitched
+	// marks a change. Only meaningful with the policy controller
+	// enabled (RuntimeConfig.CM.Enable).
+	CM         cm.Kind
+	NextCM     cm.Kind
+	CMSwitched bool
 	// Err reports a failed Reconfigure (the system keeps its previous
-	// parameters; the tuner's memory still records the move).
-	Err error
+	// parameters; the tuner's memory still records the move). CMErr
+	// reports a failed SetCM likewise.
+	Err   error
+	CMErr error
 }
 
 // String renders one trace line ("cfg → tp via move").
@@ -64,7 +74,14 @@ func (e Event) String() string {
 		if e.Reversed {
 			m = "-" + m
 		}
-		return fmt.Sprintf("period %d: %v %.0f txs/s, move %v -> %v", e.Period, e.Params, e.Throughput, m, e.Next)
+		s := fmt.Sprintf("period %d: %v %.0f txs/s, move %v -> %v", e.Period, e.Params, e.Throughput, m, e.Next)
+		if e.CMSwitched {
+			s += fmt.Sprintf(", cm %v -> %v", e.CM, e.NextCM)
+		}
+		if e.CMErr != nil {
+			s += fmt.Sprintf(" (cm switch failed: %v)", e.CMErr)
+		}
+		return s
 	}
 }
 
@@ -96,6 +113,13 @@ type RuntimeConfig struct {
 	// default grows forever. Zero keeps everything (experiment runs that
 	// read the full path afterwards).
 	TraceCap int
+
+	// CM configures the adaptive contention-management controller. With
+	// CM.Enable the System must also implement CMSystem: each period the
+	// controller reads the same measurement as the geometry tuner and
+	// may switch the live conflict-resolution policy (cm.Kind ladder)
+	// when the abort ratio or throughput says the current one lost.
+	CM CMConfig
 
 	// Now and After inject a clock for deterministic tests. Defaults:
 	// time.Now and time.After.
@@ -136,7 +160,7 @@ type Runtime struct {
 	sys System
 	cfg RuntimeConfig
 
-	mu       sync.Mutex // guards tuner, trace, running/starting/stopping/stop/done
+	mu       sync.Mutex // guards tuner, trace, running/starting/stopping/stop/done, cmt/cmLive
 	tuner    *Tuner
 	trace    []Event
 	periods  int
@@ -145,6 +169,13 @@ type Runtime struct {
 	stopping bool // Stop in progress: stop closed, controller still draining
 	stop     chan struct{}
 	done     chan struct{}
+
+	// Contention-management controller (nil when disabled): cmSys is the
+	// System's CMSystem view, cmt the ladder climber, cmLive the policy
+	// the runtime believes is installed.
+	cmSys  CMSystem
+	cmt    *cmTuner
+	cmLive cm.Kind
 }
 
 // NewRuntime builds a controller over sys. The tuner starts at
@@ -154,7 +185,17 @@ func NewRuntime(sys System, cfg RuntimeConfig) *Runtime {
 	if cfg.Tuner.Initial == (core.Params{}) {
 		cfg.Tuner.Initial = sys.Params()
 	}
-	return &Runtime{sys: sys, cfg: cfg, tuner: New(cfg.Tuner)}
+	r := &Runtime{sys: sys, cfg: cfg, tuner: New(cfg.Tuner)}
+	if cs, ok := sys.(CMSystem); ok {
+		// Report the system's actual policy even with the controller
+		// off; the controller itself only engages with CM.Enable.
+		r.cmLive = cs.CM()
+		if cfg.CM.Enable {
+			r.cmSys = cs
+			r.cmt = newCMTuner(cfg.CM, r.cmLive)
+		}
+	}
+	return r
 }
 
 // Start launches the controller goroutine. It first reconfigures the
@@ -166,6 +207,10 @@ func (r *Runtime) Start() error {
 	if r.running || r.starting {
 		r.mu.Unlock()
 		return fmt.Errorf("tuning: runtime already running")
+	}
+	if r.cfg.CM.Enable && r.cmSys == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("tuning: CM controller enabled but the system does not implement CMSystem")
 	}
 	// Claim the start before the unlocked Reconfigure below: a concurrent
 	// Start must fail here rather than race in — its stale Reconfigure
@@ -257,6 +302,25 @@ func (r *Runtime) Periods() int {
 	return r.periods
 }
 
+// CM returns the contention-management policy the runtime believes is
+// installed (the system's initial policy when the controller is off).
+func (r *Runtime) CM() cm.Kind {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cmLive
+}
+
+// CMSwitches returns how many live policy switches the controller decided
+// (zero when disabled).
+func (r *Runtime) CMSwitches() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cmt == nil {
+		return 0
+	}
+	return r.cmt.switches()
+}
+
 // Trace returns a copy of the per-period event log (the most recent
 // TraceCap events when a cap is configured).
 func (r *Runtime) Trace() []Event {
@@ -317,6 +381,8 @@ func (r *Runtime) step(maxTp float64, commits, aborts uint64) {
 		Throughput: maxTp,
 		Commits:    commits,
 		Aborts:     aborts,
+		CM:         r.cmLive,
+		NextCM:     r.cmLive,
 	}
 	r.periods++
 	if commits < r.cfg.MinPeriodCommits {
@@ -337,6 +403,13 @@ func (r *Runtime) step(maxTp float64, commits, aborts uint64) {
 		ev.Reversed = tr[len(tr)-1].Reversed
 	}
 	reconfigure := next != ev.Params
+	if r.cmt != nil {
+		// The policy controller reads the same measurement; its switch
+		// (if any) is applied below, outside the lock, like Reconfigure.
+		// A period whose geometry is about to move is flagged unsettled
+		// so the rung memory is not polluted by geometry churn.
+		ev.NextCM, ev.CMSwitched = r.cmt.step(maxTp, commits, aborts, !reconfigure)
+	}
 	r.mu.Unlock()
 
 	// Reconfigure outside r.mu: it freezes the world and can block behind
@@ -346,7 +419,21 @@ func (r *Runtime) step(maxTp float64, commits, aborts uint64) {
 			ev.Err = err
 		}
 	}
+	if ev.CMSwitched {
+		if err := r.cmSys.SetCM(ev.NextCM, r.cfg.CM.Knobs); err != nil {
+			ev.CMErr = err
+		}
+	}
 	r.mu.Lock()
+	if ev.CMSwitched {
+		if ev.CMErr == nil {
+			r.cmLive = ev.NextCM
+		} else {
+			// The switch never landed: roll the ladder climber back so
+			// its rung memory keeps tracking the policy actually live.
+			r.cmt.revert()
+		}
+	}
 	r.appendTrace(ev)
 	r.mu.Unlock()
 	r.emit(ev)

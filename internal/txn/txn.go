@@ -75,6 +75,10 @@ const (
 	// AbortUpgrade: a read-only transaction attempted a write and restarts
 	// in update mode.
 	AbortUpgrade
+	// AbortKilled: a competing transaction's contention-management policy
+	// requested this transaction's abort (cooperative kill: the victim
+	// notices the request at its next conflict/commit checkpoint).
+	AbortKilled
 	nAbortKinds
 )
 
@@ -98,6 +102,8 @@ func (k AbortKind) String() string {
 		return "frozen"
 	case AbortUpgrade:
 		return "upgrade"
+	case AbortKilled:
+		return "killed"
 	default:
 		return "unknown"
 	}
@@ -128,6 +134,9 @@ type Stats struct {
 	// parameter changes.
 	RollOvers uint64
 	Reconfigs uint64
+	// CMSwitches counts live contention-management policy changes
+	// (TM.SetCM), the policy analogue of Reconfigs.
+	CMSwitches uint64
 }
 
 // Sub returns s - o field-wise; used to compute per-interval deltas.
@@ -142,6 +151,7 @@ func (s Stats) Sub(o Stats) Stats {
 		TicketsDiscarded: s.TicketsDiscarded - o.TicketsDiscarded,
 		RollOvers:        s.RollOvers - o.RollOvers,
 		Reconfigs:        s.Reconfigs - o.Reconfigs,
+		CMSwitches:       s.CMSwitches - o.CMSwitches,
 	}
 	for i := range s.AbortsByKind {
 		d.AbortsByKind[i] = s.AbortsByKind[i] - o.AbortsByKind[i]
@@ -161,6 +171,7 @@ func (s Stats) Add(o Stats) Stats {
 		TicketsDiscarded: s.TicketsDiscarded + o.TicketsDiscarded,
 		RollOvers:        s.RollOvers + o.RollOvers,
 		Reconfigs:        s.Reconfigs + o.Reconfigs,
+		CMSwitches:       s.CMSwitches + o.CMSwitches,
 	}
 	for i := range s.AbortsByKind {
 		d.AbortsByKind[i] = s.AbortsByKind[i] + o.AbortsByKind[i]
