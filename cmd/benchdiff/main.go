@@ -1,0 +1,196 @@
+// Command benchdiff compares two BENCH_<sha>.json artifacts (the files
+// cmd/benchjson emits and CI uploads per push) and fails when a tracked
+// metric regressed past a threshold. It closes the loop the benchmark
+// trajectory was missing: artifacts were collected on every push but
+// never compared, so a regression only surfaced if someone downloaded
+// two of them and ran benchstat by hand.
+//
+// The comparison is per benchmark name over a single metric (default
+// ns/op, where bigger is worse; pass -higher-is-better for rate metrics
+// like txs/s). Benchmarks present in only one artifact are reported and
+// skipped. -filter restricts the gate to a name subset — CI gates on the
+// core/microbench suites, whose single-threaded constant factors are the
+// most stable signal a 1-iteration CI run produces.
+//
+// CI-scale caveat: the artifacts come from -benchtime=1x runs, which are
+// noisy; the default threshold is therefore deliberately loose (a real
+// 20% regression in a constant factor is far outside run-to-run jitter
+// for the microbenchmarks, but sub-10% differences are not resolvable).
+// For a precise answer, regenerate with benchstat:
+//
+//	jq -r '.raw[]' old.json > old.txt; jq -r '.raw[]' new.json > new.txt
+//	benchstat old.txt new.txt
+//
+// Usage:
+//
+//	benchdiff -old BENCH_aaa.json -new BENCH_bbb.json [-threshold 20]
+//	          [-metric ns/op] [-filter '^Benchmark(List|Commit)'] [-warn-only]
+//
+// Exit status: 0 when no gated metric regressed past the threshold (or
+// with -warn-only), 1 on regression, 2 on usage/input errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// Benchmark mirrors cmd/benchjson's parsed result entry.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations uint64             `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Artifact mirrors cmd/benchjson's document (fields we consume).
+type Artifact struct {
+	SHA     string      `json:"sha"`
+	Results []Benchmark `json:"benchmarks"`
+}
+
+func loadArtifact(path string) (Artifact, error) {
+	var a Artifact
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return a, err
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return a, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(a.Results) == 0 {
+		return a, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return a, nil
+}
+
+// metricsByName indexes an artifact's chosen metric; duplicate names
+// (e.g. -count > 1) keep the best (smallest for costs, largest for
+// rates) measurement, mirroring the repository's max-of-N convention.
+func metricsByName(a Artifact, metric string, higherIsBetter bool) map[string]float64 {
+	out := make(map[string]float64, len(a.Results))
+	for _, b := range a.Results {
+		v, ok := b.Metrics[metric]
+		if !ok {
+			continue
+		}
+		if cur, seen := out[b.Name]; seen {
+			if higherIsBetter == (v < cur) {
+				continue
+			}
+		}
+		out[b.Name] = v
+	}
+	return out
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	var (
+		oldPath   = flag.String("old", "", "baseline artifact (required)")
+		newPath   = flag.String("new", "", "candidate artifact (required)")
+		threshold = flag.Float64("threshold", 20, "fail when the metric worsens by more than this percentage")
+		metric    = flag.String("metric", "ns/op", "metric to compare")
+		higher    = flag.Bool("higher-is-better", false, "treat larger metric values as improvements (rates)")
+		filter    = flag.String("filter", "", "regexp of benchmark names to gate on (others are informational)")
+		warnOnly  = flag.Bool("warn-only", false, "report regressions but always exit 0")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var gate *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if gate, err = regexp.Compile(*filter); err != nil {
+			log.Printf("bad -filter: %v", err)
+			os.Exit(2)
+		}
+	}
+	oldArt, err := loadArtifact(*oldPath)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	newArt, err := loadArtifact(*newPath)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+
+	regressed := compare(os.Stdout, oldArt, newArt, *metric, *threshold, *higher, gate)
+	if len(regressed) > 0 {
+		log.Printf("%d benchmark(s) regressed more than %.0f%% on %s: %v",
+			len(regressed), *threshold, *metric, regressed)
+		if !*warnOnly {
+			os.Exit(1)
+		}
+	}
+}
+
+// compare prints the per-benchmark delta table and returns the gated
+// names whose metric worsened past the threshold.
+func compare(w *os.File, oldArt, newArt Artifact, metric string, threshold float64,
+	higherIsBetter bool, gate *regexp.Regexp) []string {
+	oldM := metricsByName(oldArt, metric, higherIsBetter)
+	newM := metricsByName(newArt, metric, higherIsBetter)
+
+	names := make([]string, 0, len(oldM))
+	for name := range oldM {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "benchdiff %s -> %s (%s, threshold %.0f%%)\n",
+		short(oldArt.SHA), short(newArt.SHA), metric, threshold)
+	var regressed []string
+	for _, name := range names {
+		ov := oldM[name]
+		nv, ok := newM[name]
+		if !ok {
+			fmt.Fprintf(w, "  %-50s %12.1f -> (removed)\n", name, ov)
+			continue
+		}
+		deltaPct := 0.0
+		if ov != 0 {
+			deltaPct = (nv - ov) / ov * 100
+		}
+		worse := deltaPct
+		if higherIsBetter {
+			worse = -deltaPct
+		}
+		gated := gate == nil || gate.MatchString(name)
+		mark := " "
+		if worse > threshold {
+			if gated {
+				mark = "!"
+				regressed = append(regressed, name)
+			} else {
+				mark = "~" // over threshold but not gated
+			}
+		}
+		fmt.Fprintf(w, "%s %-50s %12.1f -> %-12.1f %+7.1f%%\n", mark, name, ov, nv, deltaPct)
+	}
+	for name := range newM {
+		if _, ok := oldM[name]; !ok {
+			fmt.Fprintf(w, "  %-50s (new) -> %.1f\n", name, newM[name])
+		}
+	}
+	return regressed
+}
+
+func short(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	if sha == "" {
+		return "?"
+	}
+	return sha
+}

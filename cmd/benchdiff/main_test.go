@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+func art(t *testing.T, name string, doc string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const oldDoc = `{"sha":"aaa","benchmarks":[
+	{"name":"BenchmarkFoo-2","iterations":100,"metrics":{"ns/op":100,"txs/s":5000}},
+	{"name":"BenchmarkBar-2","iterations":100,"metrics":{"ns/op":200}},
+	{"name":"BenchmarkGone-2","iterations":100,"metrics":{"ns/op":10}}]}`
+
+const newDoc = `{"sha":"bbb","benchmarks":[
+	{"name":"BenchmarkFoo-2","iterations":100,"metrics":{"ns/op":150,"txs/s":3000}},
+	{"name":"BenchmarkBar-2","iterations":100,"metrics":{"ns/op":201}},
+	{"name":"BenchmarkNew-2","iterations":100,"metrics":{"ns/op":7}}]}`
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	oldA, err := loadArtifact(art(t, "old.json", oldDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newA, err := loadArtifact(art(t, "new.json", newDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Foo went 100 -> 150 ns/op: +50%, over a 20% threshold. Bar's +0.5%
+	// is within it; Gone/New are informational only.
+	reg := compare(os.Stdout, oldA, newA, "ns/op", 20, false, nil)
+	if len(reg) != 1 || reg[0] != "BenchmarkFoo-2" {
+		t.Fatalf("regressed = %v, want [BenchmarkFoo-2]", reg)
+	}
+	// A 60% threshold tolerates it.
+	if reg := compare(os.Stdout, oldA, newA, "ns/op", 60, false, nil); len(reg) != 0 {
+		t.Fatalf("regressed = %v at 60%%, want none", reg)
+	}
+	// A filter that excludes Foo ungates it.
+	gate := regexp.MustCompile(`^BenchmarkBar`)
+	if reg := compare(os.Stdout, oldA, newA, "ns/op", 20, false, gate); len(reg) != 0 {
+		t.Fatalf("regressed = %v with Bar-only gate, want none", reg)
+	}
+	// Rate metric: txs/s dropped 5000 -> 3000 (-40%), a regression when
+	// higher is better.
+	if reg := compare(os.Stdout, oldA, newA, "txs/s", 20, true, nil); len(reg) != 1 {
+		t.Fatalf("rate regressed = %v, want one", reg)
+	}
+}
+
+func TestLoadArtifactErrors(t *testing.T) {
+	if _, err := loadArtifact(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := loadArtifact(art(t, "empty.json", `{"sha":"x","benchmarks":[]}`)); err == nil {
+		t.Fatal("empty artifact accepted")
+	}
+	if _, err := loadArtifact(art(t, "bad.json", `{`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestMetricsByNameKeepsBest(t *testing.T) {
+	a := Artifact{Results: []Benchmark{
+		{Name: "B", Metrics: map[string]float64{"ns/op": 120}},
+		{Name: "B", Metrics: map[string]float64{"ns/op": 100}},
+	}}
+	if got := metricsByName(a, "ns/op", false)["B"]; got != 100 {
+		t.Fatalf("cost metric kept %v, want the smaller 100", got)
+	}
+	if got := metricsByName(a, "ns/op", true)["B"]; got != 120 {
+		t.Fatalf("rate metric kept %v, want the larger 120", got)
+	}
+}

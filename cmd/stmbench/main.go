@@ -10,6 +10,7 @@
 //	stmbench -b skiplist -size 1024 -update 20   # extension workload
 //	stmbench -fig cm -b list -size 256 -update 80   # contention-management sweep
 //	stmbench -cm karma -fig 3     # run a figure under the Karma policy
+//	stmbench -fig snapshot -threads 4   # RO full scans x writers, MVCC on/off
 package main
 
 import (
@@ -36,7 +37,7 @@ func main() {
 	log.SetPrefix("stmbench: ")
 
 	var (
-		fig      = flag.String("fig", "all", "figure to reproduce: 2, 3, 4, 4r, 5, all, custom, clock, cm, server")
+		fig      = flag.String("fig", "all", "figure to reproduce: 2, 3, 4, 4r, 5, all, custom, clock, cm, server, snapshot")
 		cmFlag   = flag.String("cm", "suicide", "contention-management policy (suicide, backoff, karma, timestamp, serializer); -fig cm sweeps all five")
 		clock    = flag.String("clock", "fetchinc", "commit-clock strategy for TinySTM points (fetchinc, lazy, ticket); -fig clock sweeps all three")
 		bench    = flag.String("b", "rbtree", "structure for -fig custom (list, rbtree, skiplist, hashset)")
@@ -144,6 +145,20 @@ func main() {
 		}
 		fmt.Println()
 		emit(r.ToTable())
+	case "snapshot":
+		// Read-only full-table scans under write pressure: the MVCC
+		// sidecar off (classic RO transactions that abort under writers)
+		// vs. on across version budgets. -size overrides the table,
+		// -threads the writer sweep.
+		cfg := experiments.DefaultSnapshotConfig(sc)
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "size" {
+				cfg.Keys = uint64(*size)
+			}
+		})
+		fmt.Printf("snapshot sweep: %d keys, %d scanners, theta %.2f, %v per point, budgets %v\n",
+			cfg.Keys, cfg.Scanners, cfg.Theta, cfg.Duration, cfg.Budgets)
+		emit(experiments.SnapshotSweep(sc, cfg).ToTable())
 	case "custom":
 		kind, err := cliutil.ParseKind(*bench)
 		if err != nil {

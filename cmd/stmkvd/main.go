@@ -48,6 +48,9 @@ func main() {
 		geometry = flag.String("geometry", "2^8,0,1", "initial lock-table triple locks,shifts,h (accepts 2^k)")
 		cmFlag   = flag.String("cm", "suicide", "initial contention-management policy: suicide, backoff, karma, timestamp, serializer")
 		tuneCM   = flag.Bool("tune-cm", true, "let the tuning runtime switch the contention-management policy live (needs -autotune)")
+		snaps    = flag.Bool("snapshots", true, "attach the MVCC sidecar: /scan, all-Get /batch and Len run as wait-free snapshot transactions")
+		snapBudg = flag.Int("snap-budget", 0, "initial per-shard version budget for the sidecar (0 = mvcc default)")
+		tuneSnap = flag.Bool("tune-snapshots", true, "let the tuning runtime walk the version budget live (needs -autotune and -snapshots)")
 		autotune = flag.Bool("autotune", true, "attach the online tuning runtime")
 		period   = flag.Duration("period", time.Second, "tuning sample period")
 		samples  = flag.Int("samples", 3, "samples per tuning decision (max kept)")
@@ -81,8 +84,11 @@ func main() {
 		Clock:            cs,
 		Geometry:         geo,
 		CM:               ck,
+		Snapshots:        *snaps,
+		SnapshotBudget:   *snapBudg,
 		Autotune:         *autotune,
 		TuneCM:           *autotune && *tuneCM,
+		TuneSnapshots:    *autotune && *tuneSnap && *snaps,
 		Period:           *period,
 		Samples:          *samples,
 		MinPeriodCommits: *minc,
@@ -105,8 +111,8 @@ func main() {
 		_ = hs.Shutdown(ctx)
 	}()
 
-	log.Printf("serving on %s (design=%v clock=%v geometry=%v cm=%v autotune=%v tune-cm=%v period=%v)",
-		*addr, d, cs, geo, ck, *autotune, *autotune && *tuneCM, *period)
+	log.Printf("serving on %s (design=%v clock=%v geometry=%v cm=%v snapshots=%v autotune=%v tune-cm=%v tune-snapshots=%v period=%v)",
+		*addr, d, cs, geo, ck, *snaps, *autotune, *autotune && *tuneCM, *autotune && *tuneSnap && *snaps, *period)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -116,6 +116,23 @@ type Config struct {
 	// Deprecated: the boolean predates Config.CM and maps to CM =
 	// cm.Backoff; it is still honored when CM is unset (Suicide).
 	BackoffOnAbort bool
+	// Snapshots enables the commit-ordered MVCC sidecar (package mvcc)
+	// and with it the snapshot execution mode: TM.AtomicSnap runs
+	// read-only transactions against a fixed start timestamp with no read
+	// set, no commit-time validation and no conflict aborts — update
+	// commits publish the values they supersede into the sidecar, and
+	// snapshot reads fall back to it whenever a stripe has moved past
+	// their snapshot. Off by default: publication costs one extra memory
+	// read per written word at commit plus the sidecar insert.
+	Snapshots bool
+	// SnapshotShards is the number of sidecar shards (power of two).
+	// Zero selects the mvcc default (64). Ignored without Snapshots.
+	SnapshotShards int
+	// SnapshotBudget is the per-shard retained-version budget, the
+	// dynamic tuning knob of the snapshot subsystem (the tuning runtime
+	// walks it via SetVersionBudget). Zero selects the mvcc default
+	// (512). Ignored without Snapshots.
+	SnapshotBudget int
 	// ConflictSpin bounds how long an access spins waiting for a
 	// foreign lock to be released before aborting. The paper notes a
 	// transaction "can try to wait for some time or abort immediately"
@@ -207,6 +224,12 @@ func (c Config) validate() error {
 	}
 	if c.MaxClock < 2 {
 		return fmt.Errorf("core: MaxClock (%d) too small", c.MaxClock)
+	}
+	if c.SnapshotShards < 0 || (c.SnapshotShards > 0 && bits.OnesCount(uint(c.SnapshotShards)) != 1) {
+		return fmt.Errorf("core: SnapshotShards (%d) must be a power of two", c.SnapshotShards)
+	}
+	if c.SnapshotBudget < 0 {
+		return fmt.Errorf("core: SnapshotBudget (%d) must be non-negative", c.SnapshotBudget)
 	}
 	if maxVer := maxVersion(c.Design); c.MaxClock > maxVer {
 		return fmt.Errorf("core: MaxClock (%d) exceeds representable version (%d) for design %v",

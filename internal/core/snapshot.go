@@ -1,0 +1,366 @@
+package core
+
+// Snapshot execution mode: wait-free read-only transactions over the
+// commit-ordered MVCC sidecar (Config.Snapshots, package mvcc).
+//
+// A snapshot transaction picks its start timestamp S once at begin and
+// never moves it: every Load returns the value that was committed at S.
+// The fast path is the live word — when the covering stripe's version is
+// still <= S, the current memory value IS the value at S. Only when a
+// writer has moved the stripe past S does the read fall back to the
+// sidecar, which retains the superseded values together with their
+// validity intervals. There is no read set, no snapshot extension and no
+// commit-time validation: the snapshot is consistent by construction, so
+// the O(reads) validation work of a classic read-only transaction drops
+// to zero and concurrent writers can never abort it. The only abort a
+// snapshot transaction can suffer is AbortSnapshotTooOld — its snapshot
+// fell behind the sidecar's trim horizon (or it waited out its spin
+// budget behind an in-flight writer) — and the retry restarts it on a
+// fresh snapshot.
+//
+// Update commits pay for this: with snapshots enabled, the commit path
+// captures the value each written word is about to supersede and
+// publishes those pre-images into the sidecar BEFORE releasing its locks
+// (see mvcc.Publish for why the ordering matters), at commit timestamp
+// ts. Publication happens per update commit regardless of whether any
+// snapshot is running; the per-shard version budget bounds the memory and
+// the tuning runtime walks it to match the live read/write mix.
+
+import (
+	"errors"
+	"runtime"
+
+	"tinystm/internal/mem"
+	"tinystm/internal/mvcc"
+	"tinystm/internal/txn"
+)
+
+// errSnapshotsDisabled is returned by the snapshot knob setters when the
+// TM was built without Config.Snapshots.
+var errSnapshotsDisabled = errors.New("core: snapshots disabled (enable Config.Snapshots)")
+
+// snapSpinBudget bounds how many times a snapshot read re-examines a
+// stripe owned by an in-flight writer before giving up on this snapshot.
+// Write-back holds stripe locks only across the commit write-back phase,
+// so the window is short; write-through holds them from encounter time
+// and long writers can exhaust the budget — the retry then restarts on a
+// fresh snapshot past the writer.
+const snapSpinBudget = 512
+
+// SnapshotsEnabled reports whether the MVCC sidecar is attached.
+func (tm *TM) SnapshotsEnabled() bool { return tm.mvcc != nil }
+
+// VersionBudget returns the sidecar's per-shard version budget (zero when
+// snapshots are disabled).
+func (tm *TM) VersionBudget() int {
+	if tm.mvcc == nil {
+		return 0
+	}
+	return tm.mvcc.Budget()
+}
+
+// SetVersionBudget replaces the sidecar's per-shard version budget on the
+// live TM — the snapshot subsystem's dynamic tuning knob, the analogue of
+// Reconfigure for the (Locks, Shifts, Hier) triple but with no world
+// freeze: trimming simply starts honoring the new bound.
+func (tm *TM) SetVersionBudget(n int) error {
+	if tm.mvcc == nil {
+		return errSnapshotsDisabled
+	}
+	return tm.mvcc.SetBudget(n)
+}
+
+// SnapshotCounts returns the aggregate snapshot counters: too-old aborts,
+// sidecar reads, versions published and versions trimmed. O(1) and
+// lock-free like CommitAbortCounts; the tuning runtime differentiates
+// them per period to walk the version budget.
+func (tm *TM) SnapshotCounts() (tooOld, sidecarReads, published, trimmed uint64) {
+	tooOld = tm.aggSnapTooOld.Load()
+	sidecarReads = tm.aggSnapReads.Load()
+	if tm.mvcc != nil {
+		published, trimmed = tm.mvcc.Counts()
+	}
+	return tooOld, sidecarReads, published, trimmed
+}
+
+// RetainedVersions reports how many versions the sidecar currently holds
+// (diagnostics, leak tests); zero when snapshots are disabled.
+func (tm *TM) RetainedVersions() int {
+	if tm.mvcc == nil {
+		return 0
+	}
+	return tm.mvcc.Retained()
+}
+
+// ActiveSnapshots reports how many snapshot transactions are registered
+// with the sidecar's horizon tracking (diagnostics, leak tests).
+func (tm *TM) ActiveSnapshots() int {
+	if tm.mvcc == nil {
+		return 0
+	}
+	return tm.mvcc.ActiveSnapshots()
+}
+
+// AtomicSnap runs fn as a snapshot-mode read-only transaction, retrying
+// on a fresh snapshot whenever the current one falls off the retained
+// horizon. If fn writes, the block transparently restarts as a regular
+// update transaction (like AtomicRO's upgrade). Without Config.Snapshots
+// it falls back to AtomicRO.
+func (tm *TM) AtomicSnap(tx *Tx, fn func(*Tx)) {
+	if tm.mvcc == nil {
+		tm.AtomicRO(tx, fn)
+		return
+	}
+	if tx.tm != tm {
+		panic("core: descriptor belongs to a different TM")
+	}
+	if tx.inTx {
+		// Flat nesting: an inner block merges into the enclosing
+		// transaction, whatever mode it runs in.
+		fn(tx)
+		return
+	}
+	tx.attempts = 0
+	tx.upgr = false
+	for {
+		tx.attempts++
+		tx.maybeRollOverOnBegin()
+		tx.BeginSnap()
+		if tx.runBody(fn) && tx.Commit() {
+			return
+		}
+		if tx.upgr {
+			// fn wrote: snapshot mode cannot serve it; rerun the whole
+			// block as a regular update transaction.
+			tm.atomic(tx, fn, false)
+			return
+		}
+		// AbortSnapshotTooOld (or a cooperative kill): retry on a fresh
+		// snapshot. No backoff — the fresh snapshot is taken at the
+		// current clock, past whatever trimmed the old one.
+	}
+}
+
+// BeginSnap starts a snapshot-mode read-only attempt: the snapshot
+// timestamp is the current clock value and is registered with the
+// sidecar's horizon tracking until commit/rollback. Most callers use
+// TM.AtomicSnap. Without Config.Snapshots it degrades to a classic
+// read-only Begin.
+func (tx *Tx) BeginSnap() {
+	if tx.tm.mvcc == nil {
+		tx.Begin(true)
+		return
+	}
+	if tx.inTx {
+		panic("core: Begin on descriptor already in a transaction")
+	}
+	if tx.released {
+		panic("core: Begin on released descriptor")
+	}
+	tx.tm.fz.enter()
+	tx.resetHier()
+	tx.geo = tx.tm.geo.Load()
+	tx.design = tx.tm.design
+	tx.verShift = 1
+	if tx.design == WriteThrough {
+		tx.verShift = 1 + incBits
+	}
+	tx.yieldEvery = tx.tm.yieldN
+	if tx.yieldEvery > 0 {
+		tx.opBudget = tx.yieldEvery
+	} else {
+		tx.opBudget = opBudgetIdle
+	}
+	// The contention-management policy is not consulted (snapshot
+	// attempts own no locks and conflict with nobody), but the attempt
+	// epoch is opened so the shared rollback/commit bookkeeping stays
+	// uniform.
+	tx.cmst.BeginAttempt()
+	tx.inTx = true
+	tx.ro = true
+	tx.snap = true
+	tx.wset = tx.wset[:0]
+	tx.owned = tx.owned[:0]
+	tx.undo = tx.undo[:0]
+	tx.allocs = tx.allocs[:0]
+	tx.frees = tx.frees[:0]
+	// Register with the sidecar BEFORE taking the snapshot timestamp.
+	// Publishers skip version retention while no snapshot is registered,
+	// and every clock strategy makes a commit's timestamp visible before
+	// its publication-skip check: a clock value read AFTER our
+	// registration is therefore >= the timestamp of every commit that
+	// skipped before seeing us, so the snapshot can never need a version
+	// that was legitimately skipped.
+	tx.tm.mvcc.Enter(tx.slot, tx.tm.clk.now())
+	tx.start = tx.tm.clk.now()
+	tx.end = tx.start
+	// startEpoch pins retired memory blocks (package reclaim) exactly as
+	// for update transactions: a block freed at ts > start must survive
+	// until this snapshot finishes. The sidecar registration (at a clock
+	// value <= start, conservative for trimming) additionally pins
+	// retained versions where the budget allows.
+	tx.startEpoch.Store(tx.start + 1)
+}
+
+// InSnapshot reports whether the current attempt runs in snapshot mode.
+func (tx *Tx) InSnapshot() bool { return tx.snap }
+
+// loadSnap serves one snapshot-mode read: live word when the stripe has
+// not moved past the snapshot, sidecar version otherwise.
+func (tx *Tx) loadSnap(addr uint64) uint64 {
+	a := mem.Addr(addr)
+	g := tx.geo
+	li := g.lockIndex(addr)
+	snap := tx.start
+	for spin := 0; ; spin++ {
+		lw := g.loadLock(li)
+		if !isOwned(lw) {
+			if lw>>tx.verShift <= snap {
+				// The live value became current at or before the snapshot
+				// and has not been superseded: it IS the value at snap.
+				// The re-read detects a racing acquisition/release between
+				// the lock read and the value read.
+				val := tx.tm.space.Load(a)
+				if g.loadLock(li) == lw {
+					tx.snapLiveReads++
+					return val
+				}
+				continue
+			}
+			// The stripe moved past the snapshot while unlocked:
+			// publishers deliver pre-images before releasing their locks,
+			// so everything there is to know is already in the sidecar —
+			// a miss here is persistent and waiting cannot help.
+			val, res := tx.tm.mvcc.Read(li, addr, snap)
+			switch res {
+			case mvcc.ReadHit:
+				tx.snapVersionReads++
+				return val
+			case mvcc.ReadLiveValid:
+				// Only a NEIGHBOR under the stripe moved past the
+				// snapshot; this address's live value provably predates
+				// it. Serve it, re-validating against the original lock
+				// word (an intervening commit restarts the loop).
+				v := tx.tm.space.Load(a)
+				if g.loadLock(li) == lw {
+					tx.snapLiveReads++
+					return v
+				}
+				continue
+			default:
+				// ReadTooOld, or a miss: the value at snap predates the
+				// stripe's retained history. Restart on a fresh snapshot.
+				tx.abort(txn.AbortSnapshotTooOld)
+			}
+		}
+		// An in-flight writer owns the stripe. If it writes this very
+		// address, its pre-image appears BEFORE it releases (it is past
+		// the point of no return once it publishes), so poll the sidecar
+		// occasionally; otherwise just wait for the release — write-back
+		// commits hold stripe locks only across the write-back phase.
+		if spin&15 == 0 {
+			if val, res := tx.tm.mvcc.Read(li, addr, snap); res == mvcc.ReadHit {
+				tx.snapVersionReads++
+				return val
+			} else if res == mvcc.ReadTooOld {
+				tx.abort(txn.AbortSnapshotTooOld)
+			}
+		}
+		if spin >= snapSpinBudget {
+			// A write-through transaction can hold its encounter-time
+			// locks for its whole execution; give up on this snapshot
+			// rather than wait unboundedly.
+			tx.abort(txn.AbortSnapshotTooOld)
+		}
+		if spin&15 == 15 {
+			// Let the lock owner run; essential on few-core hosts.
+			runtime.Gosched()
+		}
+	}
+}
+
+// publishVersions delivers the pre-images this commit supersedes to the
+// sidecar at commit timestamp ts. Called while the write locks are still
+// held (see mvcc.Publish for the ordering contract). Words this very
+// transaction allocated carry no pre-image (the prior bits are allocator
+// garbage and no snapshot can reach them before this commit links them);
+// they are published as birth records so the sidecar learns their exact
+// validity start.
+func (tx *Tx) publishVersions(ts uint64) {
+	pub := tx.pub[:0]
+	// EVERY word of every block this commit allocated is born at ts —
+	// including words the transaction never stored to (Alloc zeroes them;
+	// a grown hash directory's empty bucket heads are read by scans but
+	// never written). Without the birth, alias pressure on such a word's
+	// stripe would leave snapshot readers with an unresolvable miss.
+	for _, a := range tx.allocs {
+		for w := 0; w < a.words; w++ {
+			addr := uint64(a.addr) + uint64(w)
+			pub = append(pub, mvcc.Version{Stripe: tx.geo.lockIndex(addr), Addr: addr, Birth: true})
+		}
+	}
+	if tx.design == WriteBack {
+		for i := range tx.wset {
+			e := &tx.wset[i]
+			if tx.isFreshAlloc(uint64(e.addr)) {
+				continue
+			}
+			pub = append(pub, mvcc.Version{
+				Stripe: e.lockIdx,
+				Addr:   uint64(e.addr),
+				Val:    e.old,
+				From:   versionWB(e.prevLock),
+			})
+		}
+	} else {
+		// Write-through: the undo log holds the superseded values — the
+		// FIRST record per address (later ones captured this transaction's
+		// own intermediate writes). The dedupe scratch map is reused
+		// across commits (this runs while every write lock is still
+		// held; allocating here would stretch the critical section), and
+		// the stripe's pre-acquisition version comes from a linear scan
+		// of the owned-lock records — transactions hold few stripes.
+		if tx.pubSeen == nil {
+			tx.pubSeen = make(map[mem.Addr]struct{}, 16)
+		} else {
+			clear(tx.pubSeen)
+		}
+		for i := range tx.undo {
+			u := &tx.undo[i]
+			if _, dup := tx.pubSeen[u.addr]; dup {
+				continue
+			}
+			tx.pubSeen[u.addr] = struct{}{}
+			if tx.isFreshAlloc(uint64(u.addr)) {
+				continue
+			}
+			li := tx.geo.lockIndex(uint64(u.addr))
+			var from uint64
+			for _, rec := range tx.owned {
+				if rec.lockIdx == li {
+					from = versionWT(rec.prevLock)
+					break
+				}
+			}
+			pub = append(pub, mvcc.Version{
+				Stripe: li,
+				Addr:   uint64(u.addr),
+				Val:    u.old,
+				From:   from,
+			})
+		}
+	}
+	tx.pub = pub
+	tx.tm.mvcc.Publish(ts, pub)
+}
+
+// isFreshAlloc reports whether addr lies inside a block this transaction
+// allocated.
+func (tx *Tx) isFreshAlloc(addr uint64) bool {
+	for _, a := range tx.allocs {
+		if addr >= uint64(a.addr) && addr < uint64(a.addr)+uint64(a.words) {
+			return true
+		}
+	}
+	return false
+}

@@ -19,6 +19,8 @@ type txStats struct {
 	locksSkipped     atomic.Uint64
 	dupReadsSkipped  atomic.Uint64
 	ticketsDiscarded atomic.Uint64
+	snapLiveReads    atomic.Uint64
+	snapVersionReads atomic.Uint64
 }
 
 // reset zeroes every counter; used when a released descriptor's totals
@@ -35,6 +37,8 @@ func (s *txStats) reset() {
 	s.locksSkipped.Store(0)
 	s.dupReadsSkipped.Store(0)
 	s.ticketsDiscarded.Store(0)
+	s.snapLiveReads.Store(0)
+	s.snapVersionReads.Store(0)
 }
 
 func (s *txStats) snapshotInto(out *txn.Stats) {
@@ -48,4 +52,6 @@ func (s *txStats) snapshotInto(out *txn.Stats) {
 	out.LocksSkipped += s.locksSkipped.Load()
 	out.DupReadsSkipped += s.dupReadsSkipped.Load()
 	out.TicketsDiscarded += s.ticketsDiscarded.Load()
+	out.SnapshotLiveReads += s.snapLiveReads.Load()
+	out.SnapshotVersionReads += s.snapVersionReads.Load()
 }

@@ -7,6 +7,7 @@ import (
 
 	"tinystm/internal/cm"
 	"tinystm/internal/mem"
+	"tinystm/internal/mvcc"
 	"tinystm/internal/reclaim"
 	"tinystm/internal/txn"
 )
@@ -39,6 +40,15 @@ type TM struct {
 	// its full snapshot path, CommitAbortCounts is the lock-free fast one.
 	aggCommits atomic.Uint64
 	aggAborts  atomic.Uint64
+	// aggSnapTooOld/aggSnapReads are the snapshot-mode analogues: too-old
+	// aborts and sidecar-served reads, the two signals the tuning
+	// runtime's version-budget controller differentiates per period.
+	aggSnapTooOld atomic.Uint64
+	aggSnapReads  atomic.Uint64
+
+	// mvcc is the commit-ordered version sidecar backing snapshot-mode
+	// read-only transactions; nil unless Config.Snapshots.
+	mvcc *mvcc.Store
 
 	// cmh holds the active contention-management policy behind one
 	// pointer load; descriptors pin it per attempt at Begin (like geo),
@@ -154,6 +164,13 @@ func New(cfg Config) (*TM, error) {
 	tm.fz.init()
 	tm.geo.Store(newGeometry(Params{Locks: cfg.Locks, Shifts: cfg.Shifts, Hier: cfg.Hier}, cfg.Hier2))
 	tm.cmh.Store(&cmHolder{pol: cm.New(cfg.CM, cfg.CMKnobs, tm.CommitAbortCounts)})
+	if cfg.Snapshots {
+		tm.mvcc = mvcc.New(mvcc.Config{
+			Words:  cfg.Space.Cap(),
+			Shards: cfg.SnapshotShards,
+			Budget: cfg.SnapshotBudget,
+		})
+	}
 	return tm, nil
 }
 
@@ -236,6 +253,9 @@ func (tm *TM) NewTx() *Tx {
 	pub := make([]*Tx, len(tm.descs))
 	copy(pub, tm.descs)
 	tm.descsPub.Store(&pub)
+	if tm.mvcc != nil {
+		tm.mvcc.EnsureSlots(len(tm.descs))
+	}
 	return tx
 }
 
@@ -259,6 +279,14 @@ func (tx *Tx) Release() {
 	if tx.pol != nil {
 		tx.pol.Detach(&tx.cmst)
 		tx.pol = nil
+	}
+	// Detach from the MVCC horizon tracking: a released descriptor must
+	// never pin retained versions. Normally the registration is already
+	// gone (commit/rollback clear it), but a slot recycled after an
+	// abnormal unwind would otherwise hold the sidecar's horizon back
+	// forever — trimming could never advance past its stale snapshot.
+	if tm.mvcc != nil {
+		tm.mvcc.Leave(tx.slot)
 	}
 	tx.cmst.NoteCommit()
 	tx.stats.snapshotInto(&tm.retired)
@@ -358,6 +386,11 @@ func (tm *TM) rollOver() {
 		tm.clk.reset()
 		tm.clockEpoch.Add(1) // drain outstanding ticket reservations
 		tm.geo.Load().resetVersions()
+		if tm.mvcc != nil {
+			// Retained versions carry old-epoch timestamps; drop them all
+			// (no snapshot can be active behind the barrier).
+			tm.mvcc.Reset()
+		}
 		tm.rollOvers.Add(1)
 	}
 	tm.fz.unfreeze()
@@ -409,6 +442,11 @@ func (tm *TM) Reconfigure(p Params) error {
 	tm.geo.Store(newGeometry(p, hier2))
 	tm.clk.reset()
 	tm.clockEpoch.Add(1) // drain outstanding ticket reservations
+	if tm.mvcc != nil {
+		// The clock reset invalidates every retained timestamp, and the
+		// new geometry remaps stripes besides.
+		tm.mvcc.Reset()
+	}
 	tm.reconfigs.Add(1)
 	tm.fz.unfreeze()
 	return nil
@@ -445,6 +483,9 @@ func (tm *TM) Stats() txn.Stats {
 	s.RollOvers = tm.rollOvers.Load()
 	s.Reconfigs = tm.reconfigs.Load()
 	s.CMSwitches = tm.cmSwitches.Load()
+	if tm.mvcc != nil {
+		s.VersionsPublished, s.VersionsTrimmed = tm.mvcc.Counts()
+	}
 	return s
 }
 
@@ -468,8 +509,9 @@ func (tm *TM) DescriptorCounts() (minted, free int) {
 func (tm *TM) Frozen() bool { return tm.fz.isFrozen() }
 
 // Compile-time checks: *Tx satisfies the shared transaction interface and
-// *TM the system interface used by the generic harness.
+// *TM the system interfaces used by the generic harness and store.
 var (
-	_ txn.Tx          = (*Tx)(nil)
-	_ txn.System[*Tx] = (*TM)(nil)
+	_ txn.Tx                  = (*Tx)(nil)
+	_ txn.System[*Tx]         = (*TM)(nil)
+	_ txn.SnapshotSystem[*Tx] = (*TM)(nil)
 )

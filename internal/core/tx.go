@@ -6,6 +6,7 @@ import (
 
 	"tinystm/internal/cm"
 	"tinystm/internal/mem"
+	"tinystm/internal/mvcc"
 	"tinystm/internal/txn"
 )
 
@@ -23,7 +24,11 @@ type wsetEntry struct {
 	value    uint64
 	lockIdx  uint64
 	prevLock uint64 // unlocked word to restore on abort (chain heads only)
-	next     int32  // index of next entry under the same lock; -1 ends
+	// old captures the committed value this entry is about to supersede;
+	// filled during the commit write-back phase only when the MVCC
+	// sidecar is attached (the pre-image it publishes).
+	old  uint64
+	next int32 // index of next entry under the same lock; -1 ends
 }
 
 // lockRec is one write-through owned-lock record: which lock we hold and
@@ -69,6 +74,7 @@ type Tx struct {
 	design Design
 	inTx   bool
 	ro     bool // read-only attempt: no read set, abort instead of extend
+	snap   bool // snapshot-mode attempt: reads served at a fixed timestamp
 	upgr   bool // read-only attempt wrote; retry as update
 	// released marks a descriptor handed back via Release: it sits on the
 	// TM free list and must not run transactions until NewTx re-issues it.
@@ -125,6 +131,15 @@ type Tx struct {
 	// stats at commit/rollback.
 	dupReads         uint64
 	ticketsDiscarded uint64
+	snapLiveReads    uint64
+	snapVersionReads uint64
+
+	// pub is the reusable pre-image staging buffer publishVersions fills
+	// each update commit when the MVCC sidecar is attached; pubSeen is
+	// its reusable write-through dedupe scratch (first undo record per
+	// address wins).
+	pub     []mvcc.Version
+	pubSeen map[mem.Addr]struct{}
 
 	attempts int // retries of the current atomic block (for backoff)
 	rng      uint64
@@ -177,17 +192,7 @@ func (tx *Tx) Begin(readOnly bool) {
 		panic("core: Begin on released descriptor")
 	}
 	tx.tm.fz.enter()
-	// Reset the per-bucket acquisition counts of the previous attempt
-	// using the geometry that recorded them (a Reconfigure may swap the
-	// bucket mapping between attempts).
-	if old := tx.geo; old != nil {
-		for _, b := range tx.hactive {
-			tx.hacq[b] = 0
-			if old.hier2Enabled() {
-				tx.hacq2[old.hier2Index(uint64(b))] = 0
-			}
-		}
-	}
+	tx.resetHier()
 	tx.geo = tx.tm.geo.Load()
 	tx.design = tx.tm.design
 	tx.verShift = 1
@@ -217,6 +222,7 @@ func (tx *Tx) Begin(readOnly bool) {
 	tx.cmst.BeginAttempt()
 	tx.inTx = true
 	tx.ro = readOnly
+	tx.snap = false
 	tx.start = tx.tm.clk.now()
 	tx.end = tx.start
 	tx.startEpoch.Store(tx.start + 1)
@@ -246,12 +252,29 @@ func (tx *Tx) Begin(readOnly bool) {
 	tx.frees = tx.frees[:0]
 	tx.rmask.reset()
 	tx.rmask2.reset()
-	tx.hactive = tx.hactive[:0]
 	if h == 1 {
 		// Hierarchy disabled: everything lives in partition 0 and the
 		// per-access bucket bookkeeping is skipped entirely.
 		tx.hactive = append(tx.hactive, 0)
 	}
+}
+
+// resetHier clears the per-bucket acquisition counts of the previous
+// attempt using the geometry that recorded them (a Reconfigure may swap
+// the bucket mapping between attempts). Shared by Begin and BeginSnap —
+// whichever runs next after an attempt must reset with the OLD geometry
+// before swapping in the current one, or stale hacq counts under a new
+// bucket mapping would poison the hierarchical validation fast path.
+func (tx *Tx) resetHier() {
+	if old := tx.geo; old != nil {
+		for _, b := range tx.hactive {
+			tx.hacq[b] = 0
+			if old.hier2Enabled() {
+				tx.hacq2[old.hier2Index(uint64(b))] = 0
+			}
+		}
+	}
+	tx.hactive = tx.hactive[:0]
 }
 
 // InTx reports whether the descriptor is inside an active transaction.
@@ -306,11 +329,20 @@ func (tx *Tx) rollback(kind txn.AbortKind) {
 	tx.stats.aborts.Add(1)
 	tx.stats.abortsByKind[kind].Add(1)
 	tx.tm.aggAborts.Add(1)
+	if kind == txn.AbortSnapshotTooOld {
+		tx.tm.aggSnapTooOld.Add(1)
+	}
 	tx.flushHotCounters()
 	// Bank the attempt's work as contention-management priority (Karma)
 	// and retire the attempt's kill epoch.
 	tx.cmst.NoteAbort(tx.accessCount())
 	tx.cmst.EndAttempt()
+	if tx.snap {
+		// Detach from the sidecar's horizon tracking: a finished snapshot
+		// must not pin retained versions.
+		tx.tm.mvcc.Leave(tx.slot)
+		tx.snap = false
+	}
 	tx.inTx = false
 	tx.startEpoch.Store(0)
 	tx.tm.fz.exit()
@@ -338,6 +370,17 @@ func (tx *Tx) flushHotCounters() {
 	if tx.ticketsDiscarded != 0 {
 		tx.stats.ticketsDiscarded.Add(tx.ticketsDiscarded)
 		tx.ticketsDiscarded = 0
+	}
+	if tx.snapLiveReads != 0 {
+		tx.stats.snapLiveReads.Add(tx.snapLiveReads)
+		tx.snapLiveReads = 0
+	}
+	if tx.snapVersionReads != 0 {
+		tx.stats.snapVersionReads.Add(tx.snapVersionReads)
+		// The TM-level aggregate feeds the tuning runtime's O(1) sampler
+		// (sidecar reads signal live snapshot traffic).
+		tx.tm.aggSnapReads.Add(tx.snapVersionReads)
+		tx.snapVersionReads = 0
 	}
 }
 
@@ -380,6 +423,9 @@ func (tx *Tx) Load(addr uint64) uint64 {
 	tx.opBudget--
 	if tx.opBudget <= 0 {
 		tx.loadTick()
+	}
+	if tx.snap {
+		return tx.loadSnap(addr)
 	}
 	a := mem.Addr(addr)
 	g := tx.geo
@@ -812,11 +858,27 @@ func (tx *Tx) Commit() bool {
 	}
 
 	// Point of no return: publish values and release locks at version ts.
+	// With the MVCC sidecar attached, the superseded values are captured
+	// during the write-back (write-back design) or recovered from the
+	// undo log (write-through) and delivered to the sidecar BEFORE the
+	// locks are released: per-stripe publication then follows lock order,
+	// and a snapshot reader that observes the released version ts knows
+	// the matching pre-image is already retained (or trimmed into the
+	// horizon) — never still in flight.
 	g := tx.geo
 	if tx.design == WriteBack {
-		for i := range tx.wset {
-			e := &tx.wset[i]
-			tx.tm.space.Store(e.addr, e.value)
+		if tx.tm.mvcc != nil {
+			for i := range tx.wset {
+				e := &tx.wset[i]
+				e.old = tx.tm.space.Load(e.addr)
+				tx.tm.space.Store(e.addr, e.value)
+			}
+			tx.publishVersions(ts)
+		} else {
+			for i := range tx.wset {
+				e := &tx.wset[i]
+				tx.tm.space.Store(e.addr, e.value)
+			}
 		}
 		newLW := mkVersionWB(ts)
 		for i := range tx.wset {
@@ -827,6 +889,9 @@ func (tx *Tx) Commit() bool {
 			}
 		}
 	} else {
+		if tx.tm.mvcc != nil {
+			tx.publishVersions(ts)
+		}
 		newLW := mkVersionWT(ts, 0)
 		for _, rec := range tx.owned {
 			g.storeLock(rec.lockIdx, newLW)
@@ -853,6 +918,10 @@ func (tx *Tx) finishCommit() {
 	tx.flushHotCounters()
 	tx.cmst.NoteCommit()
 	tx.cmst.EndAttempt()
+	if tx.snap {
+		tx.tm.mvcc.Leave(tx.slot)
+		tx.snap = false
+	}
 	tx.inTx = false
 	tx.startEpoch.Store(0)
 	tx.tm.fz.exit()

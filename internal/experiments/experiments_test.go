@@ -378,4 +378,37 @@ func TestServerSweepQuick(t *testing.T) {
 	if !strings.Contains(sb.String(), "autotuned") {
 		t.Error("sweep table malformed")
 	}
+	// The comparison surfaces the full latency distribution OpenLoop
+	// measures, not just throughput.
+	for _, col := range []string{"p50", "p95", "p99"} {
+		if !strings.Contains(sb.String(), col) {
+			t.Errorf("sweep table missing %s column", col)
+		}
+	}
+}
+
+func TestSnapshotSweepShapes(t *testing.T) {
+	sc := tinyScale()
+	cfg := DefaultSnapshotConfig(sc)
+	cfg.Keys = 512
+	cfg.Writers = []int{2}
+	cfg.Budgets = []int{64}
+	r := SnapshotSweep(sc, cfg)
+	if len(r.Points) != 2 {
+		t.Fatalf("got %d points, want 2 (off + one budget)", len(r.Points))
+	}
+	if r.Points[0].Mode != "off" || r.Points[1].Mode != "on/64" {
+		t.Fatalf("modes %q, %q", r.Points[0].Mode, r.Points[1].Mode)
+	}
+	on := r.Points[1]
+	if on.ScanROAborts != 0 {
+		t.Errorf("snapshot scans suffered %d read-only aborts", on.ScanROAborts)
+	}
+	if on.KeyRate == 0 {
+		t.Error("snapshot scans read no keys")
+	}
+	tbl := r.ToTable()
+	if !strings.Contains(tbl.Title, "snapshots off vs. on") {
+		t.Errorf("table title %q", tbl.Title)
+	}
 }

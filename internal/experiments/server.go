@@ -87,18 +87,24 @@ type ServerSweepResult struct {
 	Events []tuning.Event
 }
 
-// ToTable renders the autotuned-vs-static service comparison.
+// ToTable renders the autotuned-vs-static service comparison. The full
+// arrival-to-completion latency distribution OpenLoop measures is
+// surfaced — p50/p95/p99 — not just throughput: a configuration (or a
+// tuner move) that buys commits with queueing delay shows up here first,
+// which is the raw signal for the ROADMAP's latency-aware tuning.
 func (r ServerSweepResult) ToTable() harness.Table {
 	tbl := harness.Table{
 		Title: "service load: autotuned vs. static configurations",
 		Headers: []string{"configuration", "locks", "shifts", "h",
-			"completed (10^3)", "req/s (10^3)", "p95", "dropped", "aborts", "reconfigs"},
+			"completed (10^3)", "req/s (10^3)", "p50", "p95", "p99", "dropped", "aborts", "reconfigs"},
 	}
 	row := func(p ServerPoint) {
 		tbl.AddRow(p.Name, fmt.Sprintf("2^%d", log2(p.Params.Locks)), p.Params.Shifts, p.Params.Hier,
 			fmt.Sprintf("%.1f", float64(p.Load.Completed)/1000),
 			fmt.Sprintf("%.1f", p.Load.Throughput/1000),
+			p.Load.P50.Round(10*time.Microsecond).String(),
 			p.Load.P95.Round(10*time.Microsecond).String(),
+			p.Load.P99.Round(10*time.Microsecond).String(),
 			p.Load.Dropped, p.Aborts, p.Reconfigs)
 	}
 	for _, p := range r.Statics {

@@ -13,6 +13,8 @@
 //	POST   /kv/{key}/cas      body {"old":o,"new":n}  -> {"ok":bool,...}
 //	POST   /kv/{key}/add      body {"delta":d}        -> {"val":new}
 //	POST   /batch             body {"ops":[...]}      -> {"results":[...]}
+//	GET    /scan              full-table scan (one snapshot transaction)
+//	                          ?limit=N caps pairs     -> {"keys":n,"pairs":[...]}
 //	GET    /stats             TM counters + store size
 //	GET    /tuning            live autotune trace
 //	GET    /healthz           liveness
@@ -50,12 +52,25 @@ type Config struct {
 	Geometry core.Params
 	// CM is the initial contention-management policy (default Suicide).
 	CM cm.Kind
+	// Snapshots attaches the MVCC sidecar: all-Get /batch requests, Len
+	// and the /scan endpoint then run as wait-free snapshot transactions
+	// instead of abort-prone classic read-only ones. On by default in
+	// cmd/stmkvd.
+	Snapshots bool
+	// SnapshotBudget is the sidecar's initial per-shard version budget
+	// (zero: the mvcc default). Requires Snapshots.
+	SnapshotBudget int
 	// Autotune attaches a tuning.Runtime (on by default in cmd/stmkvd).
 	Autotune bool
 	// TuneCM additionally enables the runtime's adaptive policy
 	// controller: the conflict-resolution policy becomes a live tuning
 	// dimension next to the lock-table geometry. Requires Autotune.
 	TuneCM bool
+	// TuneSnapshots additionally enables the runtime's version-budget
+	// controller: the sidecar's retained-version budget becomes a live
+	// tuning dimension, metered by snapshot-too-old aborts. Requires
+	// Autotune and Snapshots.
+	TuneSnapshots bool
 	// Period, Samples, MinPeriodCommits and Bounds mirror
 	// tuning.RuntimeConfig.
 	Period           time.Duration
@@ -81,6 +96,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Geometry == (core.Params{}) {
 		c.Geometry = core.Params{Locks: 1 << 8, Shifts: 0, Hier: 1}
+	}
+	// Normalize: the budget controller cannot exist without the sidecar.
+	// Folding the AND in here keeps every consumer — the runtime wiring
+	// AND the /tuning report — on one effective value, so the endpoint
+	// can never claim a tuning dimension that was silently disabled.
+	if !c.Snapshots {
+		c.TuneSnapshots = false
 	}
 	return c
 }
@@ -118,13 +140,15 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	tm, err := core.New(core.Config{
-		Space:  mem.NewSpace(cfg.SpaceWords),
-		Locks:  cfg.Geometry.Locks,
-		Shifts: cfg.Geometry.Shifts,
-		Hier:   cfg.Geometry.Hier,
-		Design: cfg.Design,
-		Clock:  cfg.Clock,
-		CM:     cfg.CM,
+		Space:          mem.NewSpace(cfg.SpaceWords),
+		Locks:          cfg.Geometry.Locks,
+		Shifts:         cfg.Geometry.Shifts,
+		Hier:           cfg.Geometry.Hier,
+		Design:         cfg.Design,
+		Clock:          cfg.Clock,
+		CM:             cfg.CM,
+		Snapshots:      cfg.Snapshots,
+		SnapshotBudget: cfg.SnapshotBudget,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("kvserver: %w", err)
@@ -142,6 +166,7 @@ func New(cfg Config) (*Server, error) {
 			Samples:          cfg.Samples,
 			MinPeriodCommits: cfg.MinPeriodCommits,
 			CM:               tuning.CMConfig{Enable: cfg.TuneCM},
+			Snapshot:         tuning.SnapshotConfig{Enable: cfg.TuneSnapshots},
 			// A daemon tunes forever: keep only a bounded window of
 			// events in memory (/tuning serves its tail).
 			TraceCap: traceCap,
@@ -206,6 +231,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /kv/{key}/cas", s.handleCAS)
 	s.mux.HandleFunc("POST /kv/{key}/add", s.handleAdd)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("GET /scan", s.handleScan)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /tuning", s.handleTuning)
 }
@@ -345,6 +371,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"results": out})
 }
 
+// maxScanPairs bounds one /scan response's pair list; ?limit=N requests
+// fewer. The walk itself always covers the whole table (the "keys" count
+// is exact) — only the returned pairs are capped.
+const maxScanPairs = 4096
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	limit := maxScanPairs
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	pairs, total := s.store.Scan(limit)
+	if pairs == nil {
+		pairs = []kvstore.KV{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"keys":     total,
+		"pairs":    pairs,
+		"snapshot": s.tm.SnapshotsEnabled(),
+	})
+}
+
 // wireParams is the JSON form of a tunable triple.
 type wireParams struct {
 	Locks  uint64 `json:"locks"`
@@ -359,6 +413,7 @@ func toWireParams(p core.Params) wireParams {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.tm.Stats()
 	minted, free := s.tm.DescriptorCounts()
+	tooOld, _, _, _ := s.tm.SnapshotCounts()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"design":         s.tm.Design().String(),
@@ -373,6 +428,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"rollovers":      st.RollOvers,
 		"reconfigs":      st.Reconfigs,
 		"descriptors":    map[string]int{"minted": minted, "free": free},
+		"snapshots": map[string]any{
+			"enabled":                 s.tm.SnapshotsEnabled(),
+			"version_budget":          s.tm.VersionBudget(),
+			"versions_published":      st.VersionsPublished,
+			"versions_trimmed":        st.VersionsTrimmed,
+			"reads_live":              st.SnapshotLiveReads,
+			"reads_sidecar":           st.SnapshotVersionReads,
+			"aborts_snapshot_too_old": tooOld,
+		},
 	})
 }
 
@@ -388,8 +452,12 @@ type wireEvent struct {
 	Next       wireParams `json:"next"`
 	CM         string     `json:"cm,omitempty"`
 	NextCM     string     `json:"next_cm,omitempty"`
+	Budget     int        `json:"budget,omitempty"`
+	NextBudget int        `json:"next_budget,omitempty"`
+	SnapTooOld uint64     `json:"snap_too_old,omitempty"`
 	Err        string     `json:"err,omitempty"`
 	CMErr      string     `json:"cm_err,omitempty"`
+	SnapErr    string     `json:"snap_err,omitempty"`
 }
 
 // traceCap bounds the tuning runtime's retained event window on a
@@ -447,6 +515,16 @@ func (s *Server) handleTuning(w http.ResponseWriter, r *http.Request) {
 				we.CMErr = e.CMErr.Error()
 			}
 		}
+		if s.cfg.TuneSnapshots {
+			we.Budget = e.Budget
+			we.SnapTooOld = e.SnapTooOld
+			if e.BudgetChanged {
+				we.NextBudget = e.NextBudget
+			}
+			if e.SnapErr != nil {
+				we.SnapErr = e.SnapErr.Error()
+			}
+		}
 		if e.Err != nil {
 			we.Err = e.Err.Error()
 		}
@@ -470,6 +548,9 @@ func (s *Server) handleTuning(w http.ResponseWriter, r *http.Request) {
 		"cm_tuning":         s.cfg.TuneCM,
 		"cm_switches":       s.rt.CMSwitches(),
 		"cm_switches_total": st.CMSwitches,
+		"snapshot_tuning":   s.cfg.TuneSnapshots,
+		"version_budget":    s.tm.VersionBudget(),
+		"budget_moves":      s.rt.BudgetMoves(),
 		"events":            out,
 	})
 }

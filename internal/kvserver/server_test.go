@@ -379,3 +379,135 @@ func TestTuningWithoutCMController(t *testing.T) {
 		t.Fatalf("cm_tuning = %v, want false", tun.CMTuning)
 	}
 }
+
+func TestScanEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{SpaceWords: 1 << 18, Shards: 4, Buckets: 8, Snapshots: true})
+	client := ts.Client()
+	for k := 0; k < 50; k++ {
+		if code := doJSON(t, client, "PUT", fmt.Sprintf("%s/kv/%d", ts.URL, k), fmt.Sprint(k*2), nil); code != http.StatusOK {
+			t.Fatalf("PUT status %d", code)
+		}
+	}
+	var out struct {
+		Keys     uint64 `json:"keys"`
+		Pairs    []struct{ Key, Val uint64 }
+		Snapshot bool `json:"snapshot"`
+	}
+	if code := doJSON(t, client, "GET", ts.URL+"/scan", "", &out); code != http.StatusOK {
+		t.Fatalf("GET /scan status %d", code)
+	}
+	if out.Keys != 50 || len(out.Pairs) != 50 || !out.Snapshot {
+		t.Fatalf("scan = %d keys, %d pairs, snapshot=%v", out.Keys, len(out.Pairs), out.Snapshot)
+	}
+	seen := map[uint64]uint64{}
+	for _, p := range out.Pairs {
+		seen[p.Key] = p.Val
+	}
+	for k := uint64(0); k < 50; k++ {
+		if seen[k] != k*2 {
+			t.Fatalf("scan key %d = %d, want %d", k, seen[k], k*2)
+		}
+	}
+	// limit caps pairs, not the walked-key count.
+	if code := doJSON(t, client, "GET", ts.URL+"/scan?limit=7", "", &out); code != http.StatusOK {
+		t.Fatalf("GET /scan?limit status %d", code)
+	}
+	if out.Keys != 50 || len(out.Pairs) != 7 {
+		t.Fatalf("limited scan = %d keys, %d pairs, want 50/7", out.Keys, len(out.Pairs))
+	}
+	if code := doJSON(t, client, "GET", ts.URL+"/scan?limit=0", "", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad limit accepted: status %d", code)
+	}
+	// The scan must have run in snapshot mode (live reads counted).
+	if st := s.TM().Stats(); st.SnapshotLiveReads == 0 {
+		t.Fatal("/scan did not run as a snapshot transaction")
+	}
+}
+
+func TestStatsReportsSnapshotCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{SpaceWords: 1 << 18, Shards: 4, Buckets: 8, Snapshots: true, SnapshotBudget: 128})
+	client := ts.Client()
+	doJSON(t, client, "PUT", ts.URL+"/kv/1", "10", nil)
+	doJSON(t, client, "PUT", ts.URL+"/kv/1", "11", nil)
+	// A scan runs in snapshot mode and registers with the sidecar.
+	if code := doJSON(t, client, "GET", ts.URL+"/scan", "", nil); code != http.StatusOK {
+		t.Fatalf("GET /scan status %d", code)
+	}
+	var st struct {
+		Snapshots struct {
+			Enabled       bool   `json:"enabled"`
+			VersionBudget int    `json:"version_budget"`
+			ReadsLive     uint64 `json:"reads_live"`
+			AbortsTooOld  uint64 `json:"aborts_snapshot_too_old"`
+		} `json:"snapshots"`
+	}
+	if code := doJSON(t, client, "GET", ts.URL+"/stats", "", &st); code != http.StatusOK {
+		t.Fatalf("GET /stats status %d", code)
+	}
+	if !st.Snapshots.Enabled || st.Snapshots.VersionBudget != 128 {
+		t.Fatalf("snapshot stats %+v", st.Snapshots)
+	}
+	if st.Snapshots.ReadsLive == 0 {
+		t.Fatal("scan recorded no snapshot reads")
+	}
+	if st.Snapshots.AbortsTooOld != 0 {
+		t.Fatalf("%d snapshot-too-old aborts in an uncontended test", st.Snapshots.AbortsTooOld)
+	}
+}
+
+func TestScanWithoutSnapshotsFallsBack(t *testing.T) {
+	_, ts := newTestServer(t, Config{SpaceWords: 1 << 18, Shards: 4, Buckets: 8})
+	client := ts.Client()
+	doJSON(t, client, "PUT", ts.URL+"/kv/5", "50", nil)
+	var out struct {
+		Keys     uint64 `json:"keys"`
+		Snapshot bool   `json:"snapshot"`
+	}
+	if code := doJSON(t, client, "GET", ts.URL+"/scan", "", &out); code != http.StatusOK {
+		t.Fatalf("GET /scan status %d", code)
+	}
+	if out.Keys != 1 || out.Snapshot {
+		t.Fatalf("fallback scan = %d keys, snapshot=%v, want 1/false", out.Keys, out.Snapshot)
+	}
+}
+
+func TestTuningReportsVersionBudget(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		SpaceWords: 1 << 18, Shards: 4, Buckets: 8,
+		Snapshots: true, SnapshotBudget: 256,
+		Autotune: true, TuneSnapshots: true,
+		Period: time.Hour, // the controller goroutine idles; we only read the summary
+	})
+	client := ts.Client()
+	var out struct {
+		SnapshotTuning bool `json:"snapshot_tuning"`
+		VersionBudget  int  `json:"version_budget"`
+		BudgetMoves    int  `json:"budget_moves"`
+	}
+	if code := doJSON(t, client, "GET", ts.URL+"/tuning", "", &out); code != http.StatusOK {
+		t.Fatalf("GET /tuning status %d", code)
+	}
+	if !out.SnapshotTuning || out.VersionBudget != 256 || out.BudgetMoves != 0 {
+		t.Fatalf("tuning summary %+v", out)
+	}
+}
+
+func TestTuneSnapshotsRequiresSnapshots(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		SpaceWords: 1 << 18, Shards: 4, Buckets: 8,
+		Snapshots: false, Autotune: true, TuneSnapshots: true,
+		Period: time.Hour,
+	})
+	if s == nil {
+		t.Fatal("server not built")
+	}
+	var out struct {
+		SnapshotTuning bool `json:"snapshot_tuning"`
+	}
+	if code := doJSON(t, ts.Client(), "GET", ts.URL+"/tuning", "", &out); code != http.StatusOK {
+		t.Fatalf("GET /tuning status %d", code)
+	}
+	if out.SnapshotTuning {
+		t.Fatal("/tuning claims snapshot tuning with the sidecar disabled")
+	}
+}

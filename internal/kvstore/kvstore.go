@@ -214,6 +214,38 @@ func (m *Map[T]) addCount(tx T, key uint64, delta uint64) {
 	tx.Store(c, tx.Load(c)+delta)
 }
 
+// Range calls fn for every key/value pair within the caller's
+// transaction, stopping early when fn returns false. Iteration order is
+// shard, then bucket, then chain position — stable only within one
+// transaction. Composed with a snapshot-mode transaction this is the
+// wait-free full-table scan; inside an update transaction it reads (and
+// therefore validates) every word of the map.
+func (m *Map[T]) Range(tx T, fn func(key, val uint64) bool) {
+	for s := uint64(0); s < m.shards; s++ {
+		if !m.RangeShard(tx, s, fn) {
+			return
+		}
+	}
+}
+
+// RangeShard calls fn for every key/value pair of shard s, reporting
+// false when fn stopped the iteration early.
+func (m *Map[T]) RangeShard(tx T, s uint64, fn func(key, val uint64) bool) bool {
+	hdr := m.base + s*hdrWords
+	dir := tx.Load(hdr + hdrDir)
+	nb := tx.Load(hdr + hdrNBkts)
+	for b := uint64(0); b < nb; b++ {
+		node := tx.Load(dir + b)
+		for node != 0 {
+			if !fn(tx.Load(node), tx.Load(node+1)) {
+				return false
+			}
+			node = tx.Load(node + 2)
+		}
+	}
+	return true
+}
+
 // Len sums the per-shard counters within the caller's transaction.
 func (m *Map[T]) Len(tx T) uint64 {
 	var n uint64

@@ -81,11 +81,35 @@ type Store[T txn.Tx] struct {
 	sys  txn.System[T]
 	m    *Map[T]
 	pool *TxPool[T]
+	// snap is sys's snapshot view when it provides one (TinySTM with
+	// Config.Snapshots): multi-key read-only work — all-Get batches, Len,
+	// Scan — then runs in MVCC snapshot mode, wait-free under write
+	// pressure, instead of as classic read-only transactions that abort
+	// whenever a concurrent writer moves the clock past their snapshot.
+	snap txn.SnapshotSystem[T]
 }
 
 // NewStore builds the Map inside sys and wraps it.
 func NewStore[T txn.Tx](sys txn.System[T], shards, buckets uint64) *Store[T] {
-	return &Store[T]{sys: sys, m: New[T](sys, shards, buckets), pool: NewTxPool[T](sys)}
+	s := &Store[T]{sys: sys, m: New[T](sys, shards, buckets), pool: NewTxPool[T](sys)}
+	// The type assertion alone is not enough: core.TM satisfies the
+	// interface even with the sidecar disabled (AtomicSnap then degrades
+	// to AtomicRO), and Scan's bounded per-shard fallback must engage in
+	// exactly that case.
+	if ss, ok := sys.(txn.SnapshotSystem[T]); ok && ss.SnapshotsEnabled() {
+		s.snap = ss
+	}
+	return s
+}
+
+// atomicRO runs body as a snapshot transaction when the system offers
+// snapshot mode, as a classic read-only transaction otherwise.
+func (s *Store[T]) atomicRO(tx T, body func(T)) {
+	if s.snap != nil {
+		s.snap.AtomicSnap(tx, body)
+		return
+	}
+	s.sys.AtomicRO(tx, body)
 }
 
 // Map exposes the underlying transactional map.
@@ -169,12 +193,68 @@ func (s *Store[T]) Add(key, delta uint64) (val uint64) {
 	return val
 }
 
-// Len returns the live key count via a read-only transaction.
+// Len returns the live key count via a read-only transaction (snapshot
+// mode when available: the per-shard counters span every stripe of the
+// map's headers, exactly the scattered read set writers keep moving).
 func (s *Store[T]) Len() (n uint64) {
 	tx := s.pool.Get()
 	defer s.pool.Put(tx)
-	s.sys.AtomicRO(tx, func(tx T) { n = s.m.Len(tx) })
+	s.atomicRO(tx, func(tx T) { n = s.m.Len(tx) })
 	return n
+}
+
+// KV is one key/value pair returned by Scan.
+type KV struct {
+	Key uint64 `json:"key"`
+	Val uint64 `json:"val"`
+}
+
+// Scan iterates the whole table, returning up to limit pairs (all of
+// them when limit <= 0) and the total number of live keys it walked.
+//
+// With snapshot mode available it runs as ONE snapshot transaction: a
+// single commit-ordered point in time that concurrent writers cannot
+// abort. Without it (TL2, or Snapshots off) a full-table read-only
+// transaction under write pressure can retry unboundedly — the very
+// starvation the sidecar exists to fix — so the fallback degrades to one
+// read-only transaction PER SHARD: each shard is internally consistent
+// and bounded, but the shards are not mutually consistent. The pair
+// slices are rebuilt on retry, so a fresh attempt starts clean.
+func (s *Store[T]) Scan(limit int) (pairs []KV, total uint64) {
+	tx := s.pool.Get()
+	defer s.pool.Put(tx)
+	if s.snap != nil {
+		s.snap.AtomicSnap(tx, func(tx T) {
+			pairs = pairs[:0]
+			total = 0
+			s.m.Range(tx, func(k, v uint64) bool {
+				total++
+				if limit <= 0 || len(pairs) < limit {
+					pairs = append(pairs, KV{Key: k, Val: v})
+				}
+				return true
+			})
+		})
+		return pairs, total
+	}
+	for sh := uint64(0); sh < s.m.Shards(); sh++ {
+		var shardPairs []KV
+		var shardTotal uint64
+		s.sys.AtomicRO(tx, func(tx T) {
+			shardPairs = shardPairs[:0]
+			shardTotal = 0
+			s.m.RangeShard(tx, sh, func(k, v uint64) bool {
+				shardTotal++
+				if limit <= 0 || len(pairs)+len(shardPairs) < limit {
+					shardPairs = append(shardPairs, KV{Key: k, Val: v})
+				}
+				return true
+			})
+		})
+		pairs = append(pairs, shardPairs...)
+		total += shardTotal
+	}
+	return pairs, total
 }
 
 // Apply executes ops as ONE atomic transaction: either every operation's
@@ -214,7 +294,10 @@ func (s *Store[T]) Apply(ops []Op) []OpResult {
 		}
 	}
 	if readOnly {
-		s.sys.AtomicRO(tx, body)
+		// All-Get batches take the snapshot fast path when the system
+		// offers it: one consistent timestamp, no validation, no aborts
+		// from concurrent writers.
+		s.atomicRO(tx, body)
 	} else {
 		s.sys.Atomic(tx, body)
 	}

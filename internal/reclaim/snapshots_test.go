@@ -1,0 +1,47 @@
+package reclaim
+
+import "testing"
+
+func TestSnapshotRegistry(t *testing.T) {
+	var r SnapshotRegistry
+	if _, ok := r.Min(); ok {
+		t.Fatal("Min on empty registry reported an active snapshot")
+	}
+	r.Ensure(4)
+	r.Enter(1, 10)
+	r.Enter(3, 7)
+	if min, ok := r.Min(); !ok || min != 7 {
+		t.Fatalf("Min = (%d, %v), want (7, true)", min, ok)
+	}
+	if ts, ok := r.Active(1); !ok || ts != 10 {
+		t.Fatalf("Active(1) = (%d, %v), want (10, true)", ts, ok)
+	}
+	if r.Live() != 2 {
+		t.Fatalf("Live = %d, want 2", r.Live())
+	}
+	r.Leave(3)
+	if min, ok := r.Min(); !ok || min != 10 {
+		t.Fatalf("Min after Leave(3) = (%d, %v), want (10, true)", min, ok)
+	}
+	r.Leave(1)
+	if _, ok := r.Min(); ok {
+		t.Fatal("Min after all Leaves still reports an active snapshot")
+	}
+	// Leave is idempotent (the defensive Release path) and Enter past the
+	// Ensure'd size grows the registry.
+	r.Leave(1)
+	r.Enter(9, 3)
+	if min, ok := r.Min(); !ok || min != 3 {
+		t.Fatalf("Min after growth Enter = (%d, %v), want (3, true)", min, ok)
+	}
+	// Re-Enter on the same slot replaces, not duplicates.
+	r.Enter(9, 5)
+	if r.Live() != 1 {
+		t.Fatalf("Live after re-Enter = %d, want 1", r.Live())
+	}
+	// A snapshot at timestamp 0 is still a registration.
+	r.Enter(2, 0)
+	if min, ok := r.Min(); !ok || min != 0 {
+		t.Fatalf("Min with ts-0 snapshot = (%d, %v), want (0, true)", min, ok)
+	}
+}

@@ -55,11 +55,23 @@ type Event struct {
 	CM         cm.Kind
 	NextCM     cm.Kind
 	CMSwitched bool
+	// SnapTooOld and SnapReads are the period's snapshot-too-old abort
+	// and sidecar-read deltas; Budget is the version budget live during
+	// the period and NextBudget the one installed for the following one
+	// (BudgetChanged marks a move). Only meaningful with the snapshot
+	// controller enabled (RuntimeConfig.Snapshot.Enable).
+	SnapTooOld    uint64
+	SnapReads     uint64
+	Budget        int
+	NextBudget    int
+	BudgetChanged bool
 	// Err reports a failed Reconfigure (the system keeps its previous
 	// parameters; the tuner's memory still records the move). CMErr
-	// reports a failed SetCM likewise.
-	Err   error
-	CMErr error
+	// reports a failed SetCM and SnapErr a failed SetVersionBudget
+	// likewise.
+	Err     error
+	CMErr   error
+	SnapErr error
 }
 
 // String renders one trace line ("cfg → tp via move").
@@ -80,6 +92,9 @@ func (e Event) String() string {
 		}
 		if e.CMErr != nil {
 			s += fmt.Sprintf(" (cm switch failed: %v)", e.CMErr)
+		}
+		if e.BudgetChanged {
+			s += fmt.Sprintf(", version budget %d -> %d (%d too-old)", e.Budget, e.NextBudget, e.SnapTooOld)
 		}
 		return s
 	}
@@ -120,6 +135,13 @@ type RuntimeConfig struct {
 	// may switch the live conflict-resolution policy (cm.Kind ladder)
 	// when the abort ratio or throughput says the current one lost.
 	CM CMConfig
+
+	// Snapshot configures the version-budget controller. With
+	// Snapshot.Enable the System must also implement SnapshotSystem with
+	// the MVCC sidecar attached: each period the controller meters
+	// snapshot-too-old aborts and sidecar reads and walks the per-shard
+	// version budget so buffer memory tracks the live read/write mix.
+	Snapshot SnapshotConfig
 
 	// Now and After inject a clock for deterministic tests. Defaults:
 	// time.Now and time.After.
@@ -176,6 +198,12 @@ type Runtime struct {
 	cmSys  CMSystem
 	cmt    *cmTuner
 	cmLive cm.Kind
+
+	// Snapshot version-budget controller (nil when disabled): snapSys is
+	// the System's SnapshotSystem view, snapT the rule engine; the
+	// too-old/read baselines live in the controller goroutine.
+	snapSys SnapshotSystem
+	snapT   *snapTuner
 }
 
 // NewRuntime builds a controller over sys. The tuner starts at
@@ -195,6 +223,10 @@ func NewRuntime(sys System, cfg RuntimeConfig) *Runtime {
 			r.cmt = newCMTuner(cfg.CM, r.cmLive)
 		}
 	}
+	if ss, ok := sys.(SnapshotSystem); ok && cfg.Snapshot.Enable && ss.SnapshotsEnabled() {
+		r.snapSys = ss
+		r.snapT = newSnapTuner(cfg.Snapshot, ss.VersionBudget())
+	}
 	return r
 }
 
@@ -211,6 +243,10 @@ func (r *Runtime) Start() error {
 	if r.cfg.CM.Enable && r.cmSys == nil {
 		r.mu.Unlock()
 		return fmt.Errorf("tuning: CM controller enabled but the system does not implement CMSystem")
+	}
+	if r.cfg.Snapshot.Enable && r.snapSys == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("tuning: snapshot controller enabled but the system has no MVCC sidecar (SnapshotSystem with Snapshots on)")
 	}
 	// Claim the start before the unlocked Reconfigure below: a concurrent
 	// Start must fail here rather than race in — its stale Reconfigure
@@ -321,6 +357,28 @@ func (r *Runtime) CMSwitches() int {
 	return r.cmt.switches()
 }
 
+// BudgetMoves returns how many version-budget moves the snapshot
+// controller decided (zero when disabled).
+func (r *Runtime) BudgetMoves() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.snapT == nil {
+		return 0
+	}
+	return r.snapT.switches()
+}
+
+// VersionBudget returns the per-shard version budget the snapshot
+// controller believes is installed (zero when disabled).
+func (r *Runtime) VersionBudget() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.snapT == nil {
+		return 0
+	}
+	return r.snapT.budget
+}
+
 // Trace returns a copy of the per-period event log (the most recent
 // TraceCap events when a cap is configured).
 func (r *Runtime) Trace() []Event {
@@ -336,6 +394,10 @@ func (r *Runtime) Trace() []Event {
 func (r *Runtime) run(stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
 	lastC, lastA := r.sys.CommitAbortCounts()
+	var lastTooOld, lastReads uint64
+	if r.snapSys != nil {
+		lastTooOld, lastReads, _, _ = r.snapSys.SnapshotCounts()
+	}
 	lastT := r.cfg.Now()
 	for {
 		maxTp := 0.0
@@ -359,7 +421,12 @@ func (r *Runtime) run(stop <-chan struct{}, done chan<- struct{}) {
 				}
 			}
 		}
-		r.step(maxTp, commits, aborts)
+		var snapTooOld, snapReads uint64
+		if r.snapSys != nil {
+			to, rd, _, _ := r.snapSys.SnapshotCounts()
+			snapTooOld, snapReads = to-lastTooOld, rd-lastReads
+		}
+		r.step(maxTp, commits, aborts, snapTooOld, snapReads)
 		// Re-baseline after the decision: step can block arbitrarily long
 		// in Reconfigure's world-freeze, during which commits are
 		// suppressed. Without a fresh baseline the new configuration's
@@ -367,13 +434,16 @@ func (r *Runtime) run(stop <-chan struct{}, done chan<- struct{}) {
 		// systematically low — every move would look like a throughput
 		// drop, spuriously triggering the tuner's reverse/forbid rules.
 		lastC, lastA = r.sys.CommitAbortCounts()
+		if r.snapSys != nil {
+			lastTooOld, lastReads, _, _ = r.snapSys.SnapshotCounts()
+		}
 		lastT = r.cfg.Now()
 	}
 }
 
 // step makes one tuning decision from a period's measurement and applies
 // it to the live system.
-func (r *Runtime) step(maxTp float64, commits, aborts uint64) {
+func (r *Runtime) step(maxTp float64, commits, aborts, snapTooOld, snapReads uint64) {
 	r.mu.Lock()
 	ev := Event{
 		Period:     r.periods,
@@ -383,6 +453,10 @@ func (r *Runtime) step(maxTp float64, commits, aborts uint64) {
 		Aborts:     aborts,
 		CM:         r.cmLive,
 		NextCM:     r.cmLive,
+	}
+	if r.snapT != nil {
+		ev.SnapTooOld, ev.SnapReads = snapTooOld, snapReads
+		ev.Budget, ev.NextBudget = r.snapT.budget, r.snapT.budget
 	}
 	r.periods++
 	if commits < r.cfg.MinPeriodCommits {
@@ -410,6 +484,12 @@ func (r *Runtime) step(maxTp float64, commits, aborts uint64) {
 		// so the rung memory is not polluted by geometry churn.
 		ev.NextCM, ev.CMSwitched = r.cmt.step(maxTp, commits, aborts, !reconfigure)
 	}
+	if r.snapT != nil {
+		// The budget controller is independent of geometry churn: a
+		// too-old abort means live snapshots lost versions no geometry
+		// move restores, and the knob applies with no world freeze.
+		ev.NextBudget, ev.BudgetChanged = r.snapT.step(snapTooOld, snapReads)
+	}
 	r.mu.Unlock()
 
 	// Reconfigure outside r.mu: it freezes the world and can block behind
@@ -424,6 +504,11 @@ func (r *Runtime) step(maxTp float64, commits, aborts uint64) {
 			ev.CMErr = err
 		}
 	}
+	if ev.BudgetChanged {
+		if err := r.snapSys.SetVersionBudget(ev.NextBudget); err != nil {
+			ev.SnapErr = err
+		}
+	}
 	r.mu.Lock()
 	if ev.CMSwitched {
 		if ev.CMErr == nil {
@@ -433,6 +518,12 @@ func (r *Runtime) step(maxTp float64, commits, aborts uint64) {
 			// its rung memory keeps tracking the policy actually live.
 			r.cmt.revert()
 		}
+	}
+	if ev.BudgetChanged && ev.SnapErr != nil {
+		// The budget never landed: resynchronize the rule engine with
+		// whatever the system actually runs.
+		r.snapT.budget = r.snapSys.VersionBudget()
+		r.snapT.moves--
 	}
 	r.appendTrace(ev)
 	r.mu.Unlock()

@@ -1,0 +1,160 @@
+package tuning
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSnapTunerRules(t *testing.T) {
+	st := newSnapTuner(SnapshotConfig{Min: 64, Max: 1024, ShrinkAfter: 2, HoldPeriods: 1}, 64)
+	// Too-old aborts: grow, then hold one period.
+	if next, ch := st.step(5, 100); !ch || next != 128 {
+		t.Fatalf("grow step = (%d, %v), want (128, true)", next, ch)
+	}
+	if next, ch := st.step(5, 100); ch || next != 128 {
+		t.Fatalf("hold step = (%d, %v), want (128, false)", next, ch)
+	}
+	if next, ch := st.step(5, 100); !ch || next != 256 {
+		t.Fatalf("second grow = (%d, %v), want (256, true)", next, ch)
+	}
+	// Serving reads with no too-old aborts: exactly right, hold forever.
+	st.step(0, 50)
+	for i := 0; i < 5; i++ {
+		if next, ch := st.step(0, 50); ch || next != 256 {
+			t.Fatalf("serving step = (%d, %v), want (256, false)", next, ch)
+		}
+	}
+	// Fully calm (no reads either): shrink after ShrinkAfter periods.
+	st.step(0, 0)
+	if next, ch := st.step(0, 0); !ch || next != 128 {
+		t.Fatalf("shrink step = (%d, %v), want (128, true)", next, ch)
+	}
+	// Clamped at Max and Min.
+	top := newSnapTuner(SnapshotConfig{Min: 64, Max: 100, HoldPeriods: 1}, 64)
+	if next, _ := top.step(1, 0); next != 100 {
+		t.Fatalf("grow past Max = %d, want clamp at 100", next)
+	}
+	top.step(1, 0)
+	if next, ch := top.step(1, 0); ch || next != 100 {
+		t.Fatalf("grow at Max = (%d, %v), want hold", next, ch)
+	}
+}
+
+// snapEnv extends virtualEnv with a synthetic snapshot subsystem: during
+// the scan-heavy phase, snapshots keep falling off the horizon (too-old
+// aborts accrue) until the budget reaches enough, and sidecar reads flow;
+// after the flip to the write-heavy phase both signals stop.
+type snapEnv struct {
+	*virtualEnv
+	flipTick int // phase boundary, in After ticks
+
+	budget     int
+	enough     int
+	tooOld     uint64
+	reads      uint64
+	budgetSets int
+}
+
+func (e *snapEnv) SnapshotsEnabled() bool { return true }
+func (e *snapEnv) VersionBudget() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.budget
+}
+func (e *snapEnv) SetVersionBudget(n int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.budget = n
+	e.budgetSets++
+	return nil
+}
+func (e *snapEnv) SnapshotCounts() (uint64, uint64, uint64, uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tooOld, e.reads, 0, 0
+}
+
+// After advances the fake clock via the embedded env, then accrues the
+// phase's snapshot signals.
+func (e *snapEnv) After(d time.Duration) <-chan time.Time {
+	ch := e.virtualEnv.After(d)
+	e.mu.Lock()
+	if e.ticks <= e.flipTick {
+		e.reads += 1000
+		if e.budget < e.enough {
+			e.tooOld += 10
+		}
+	}
+	e.mu.Unlock()
+	return ch
+}
+
+// TestRuntimeAdaptsVersionBudget is the deterministic fake-clock check of
+// the acceptance criterion: the budget grows while the scan-heavy phase
+// keeps producing snapshot-too-old aborts, and shrinks back once the
+// phase flips write-heavy (no snapshot traffic at all).
+func TestRuntimeAdaptsVersionBudget(t *testing.T) {
+	const periods = 60
+	env := &snapEnv{
+		virtualEnv: newVirtualEnv(p(10, 0, 1), synthetic(p(10, 0, 1)), periods),
+		flipTick:   periods / 2,
+		budget:     64,
+		enough:     512,
+	}
+	rt := NewRuntime(env, RuntimeConfig{
+		Tuner:   Config{Initial: p(10, 0, 1), Seed: 3},
+		Period:  time.Second,
+		Samples: 1,
+		Snapshot: SnapshotConfig{
+			Enable: true, Min: 64, Max: 4096, ShrinkAfter: 3, HoldPeriods: 1,
+		},
+		Now:   env.Now,
+		After: env.After,
+	})
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	<-env.reached
+	rt.Stop()
+
+	trace := rt.Trace()
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	// Phase 1: the budget must have grown to at least `enough` (the
+	// synthetic surface keeps producing too-old aborts until then).
+	maxBudget := 0
+	for _, ev := range trace {
+		if ev.Period <= env.flipTick && ev.NextBudget > maxBudget {
+			maxBudget = ev.NextBudget
+		}
+	}
+	if maxBudget < env.enough {
+		t.Fatalf("scan-heavy phase grew the budget only to %d, want >= %d", maxBudget, env.enough)
+	}
+	// Phase 2: with snapshot traffic gone, the budget must shrink back
+	// toward Min by the end of the run.
+	final := trace[len(trace)-1].NextBudget
+	if final > 64 {
+		t.Fatalf("write-heavy phase ended with budget %d, want shrunk to 64", final)
+	}
+	if rt.BudgetMoves() == 0 || env.budgetSets == 0 {
+		t.Fatalf("controller made no budget moves (moves=%d, sets=%d)", rt.BudgetMoves(), env.budgetSets)
+	}
+	if env.budget != final {
+		t.Fatalf("system budget %d diverged from controller's %d", env.budget, final)
+	}
+}
+
+// TestRuntimeSnapshotControllerRequiresSidecar pins the Start-time check.
+func TestRuntimeSnapshotControllerRequiresSidecar(t *testing.T) {
+	env := newVirtualEnv(p(10, 0, 1), synthetic(p(10, 0, 1)), 3)
+	rt := NewRuntime(env, RuntimeConfig{
+		Tuner:    Config{Initial: p(10, 0, 1)},
+		Snapshot: SnapshotConfig{Enable: true},
+		Now:      env.Now, After: env.After,
+	})
+	if err := rt.Start(); err == nil {
+		t.Fatal("Start accepted the snapshot controller without a SnapshotSystem")
+	}
+}

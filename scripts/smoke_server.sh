@@ -26,22 +26,55 @@ curl -sf "$BASE/healthz" >/dev/null
 
 # Open-loop load: 3000 req/s for 5s with a phase shift = 15k scheduled
 # arrivals; -min-ops makes the generator itself fail below 10k completions.
+# The generator runs in the background so read-only snapshot traffic —
+# full-table /scan and all-Get /batch — can be driven AGAINST the
+# phase-shifting write load; those reads must finish with zero read-only
+# aborts (the MVCC sidecar serves them wait-free).
 "$BIN/stmkv-loadgen" -addr "$BASE" -rate 3000 -duration 5s -workers 16 \
-  -keys 2048 -theta 0.9 -shift -min-ops 10000
+  -keys 2048 -theta 0.9 -shift -min-ops 10000 &
+GEN=$!
 
-# The autotuner must have moved the live geometry at least once.
+SCANS=0
+BATCHES=0
+for i in $(seq 1 40); do
+  SCAN="$(curl -sf "$BASE/scan?limit=8")" || { echo "/scan failed"; exit 1; }
+  case "$SCAN" in *'"snapshot":true'*) SCANS=$((SCANS+1));; esac
+  BATCH="$(curl -sf -X POST "$BASE/batch" -d \
+    '{"ops":[{"op":"get","key":1},{"op":"get","key":2},{"op":"get","key":3},{"op":"get","key":4}]}')" \
+    || { echo "/batch failed"; exit 1; }
+  case "$BATCH" in *'"results"'*) BATCHES=$((BATCHES+1));; esac
+  sleep 0.1
+done
+
+wait $GEN
+
+# The autotuner must have moved the live geometry at least once, and the
+# snapshot reads driven above must have completed without a single
+# read-only abort (only bounded snapshot-too-old retries would even be
+# legal, and at this scale there must be none).
 TUNING="$(curl -sf "$BASE/tuning")"
 STATS="$(curl -sf "$BASE/stats")"
-python3 - "$TUNING" "$STATS" <<'PY'
+FINAL_SCAN="$(curl -sf "$BASE/scan?limit=4")"
+python3 - "$TUNING" "$STATS" "$FINAL_SCAN" "$SCANS" "$BATCHES" <<'PY'
 import json, sys
 tuning, stats = json.loads(sys.argv[1]), json.loads(sys.argv[2])
+scan, scans, batches = json.loads(sys.argv[3]), int(sys.argv[4]), int(sys.argv[5])
 assert tuning["enabled"] and tuning["running"], "tuning runtime not running"
 assert tuning["reconfigurations"] >= 1, f"no reconfiguration events: {tuning}"
 assert stats["reconfigs"] >= 1, f"TM never reconfigured: {stats}"
 assert stats["commits"] >= 10000, f"too few commits: {stats['commits']}"
 assert len(tuning["events"]) >= 5, f"trace too short: {len(tuning['events'])} events"
+assert scans >= 30, f"only {scans} snapshot scans completed under load"
+assert batches >= 30, f"only {batches} all-Get batches completed under load"
+snap = stats["snapshots"]
+assert snap["enabled"], f"snapshots not enabled: {snap}"
+assert snap["aborts_snapshot_too_old"] == 0, f"snapshot reads aborted: {snap}"
+assert snap["reads_live"] + snap["reads_sidecar"] > 0, f"no snapshot reads recorded: {snap}"
+assert scan["keys"] >= 1000, f"final scan saw only {scan['keys']} keys"
 print(f"smoke ok: {stats['commits']} commits, {stats['reconfigs']} reconfigs, "
-      f"{len(tuning['events'])} tuning periods, final geometry {stats['params']}")
+      f"{len(tuning['events'])} tuning periods, final geometry {stats['params']}, "
+      f"{scans} scans + {batches} ro-batches under load with 0 RO aborts "
+      f"({snap['reads_live']} live + {snap['reads_sidecar']} sidecar snapshot reads)")
 PY
 
 kill $SRV
