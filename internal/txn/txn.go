@@ -53,6 +53,28 @@ type System[T Tx] interface {
 	Stats() Stats
 }
 
+// SnapshotSystem extends System for STMs that run read-only transactions
+// in MVCC snapshot mode: a start timestamp is picked once and every read
+// is served at that timestamp (live word or version sidecar), with no read
+// set, no validation and no conflict aborts. Callers that want snapshot
+// semantics type-assert for it and fall back to AtomicRO when the system
+// (or its configuration) does not provide it.
+type SnapshotSystem[T Tx] interface {
+	System[T]
+	// SnapshotsEnabled reports whether snapshot mode is actually backed
+	// by a version sidecar on THIS instance. Implementations may satisfy
+	// the interface unconditionally (core.TM does) while AtomicSnap
+	// degrades to AtomicRO when the sidecar is off — callers choosing an
+	// execution strategy for long scans must check this, not just the
+	// type assertion.
+	SnapshotsEnabled() bool
+	// AtomicSnap runs fn as a snapshot-mode read-only transaction,
+	// restarting on a fresh snapshot when the current one falls off the
+	// retained version horizon, and falling back to an update transaction
+	// if fn writes.
+	AtomicSnap(tx T, fn func(T))
+}
+
 // AbortKind classifies why a transaction aborted.
 type AbortKind int
 
@@ -79,6 +101,12 @@ const (
 	// requested this transaction's abort (cooperative kill: the victim
 	// notices the request at its next conflict/commit checkpoint).
 	AbortKilled
+	// AbortSnapshotTooOld: a snapshot-mode read-only transaction needed a
+	// version the MVCC sidecar has already trimmed past (or waited out its
+	// spin budget behind an in-flight writer). The retry loop restarts it
+	// on a fresh snapshot; it is the only way a snapshot transaction can
+	// abort.
+	AbortSnapshotTooOld
 	nAbortKinds
 )
 
@@ -104,6 +132,8 @@ func (k AbortKind) String() string {
 		return "upgrade"
 	case AbortKilled:
 		return "killed"
+	case AbortSnapshotTooOld:
+		return "snapshot-too-old"
 	default:
 		return "unknown"
 	}
@@ -137,21 +167,34 @@ type Stats struct {
 	// CMSwitches counts live contention-management policy changes
 	// (TM.SetCM), the policy analogue of Reconfigs.
 	CMSwitches uint64
+	// VersionsPublished and VersionsTrimmed count pre-images delivered to
+	// and evicted from the MVCC sidecar (TinySTM with Snapshots enabled).
+	VersionsPublished uint64
+	VersionsTrimmed   uint64
+	// SnapshotLiveReads counts snapshot-mode reads served from the live
+	// word (no writer had touched the stripe past the snapshot);
+	// SnapshotVersionReads counts reads served from the sidecar.
+	SnapshotLiveReads    uint64
+	SnapshotVersionReads uint64
 }
 
 // Sub returns s - o field-wise; used to compute per-interval deltas.
 func (s Stats) Sub(o Stats) Stats {
 	d := Stats{
-		Commits:          s.Commits - o.Commits,
-		Aborts:           s.Aborts - o.Aborts,
-		Extensions:       s.Extensions - o.Extensions,
-		LocksValidated:   s.LocksValidated - o.LocksValidated,
-		LocksSkipped:     s.LocksSkipped - o.LocksSkipped,
-		DupReadsSkipped:  s.DupReadsSkipped - o.DupReadsSkipped,
-		TicketsDiscarded: s.TicketsDiscarded - o.TicketsDiscarded,
-		RollOvers:        s.RollOvers - o.RollOvers,
-		Reconfigs:        s.Reconfigs - o.Reconfigs,
-		CMSwitches:       s.CMSwitches - o.CMSwitches,
+		Commits:              s.Commits - o.Commits,
+		Aborts:               s.Aborts - o.Aborts,
+		Extensions:           s.Extensions - o.Extensions,
+		LocksValidated:       s.LocksValidated - o.LocksValidated,
+		LocksSkipped:         s.LocksSkipped - o.LocksSkipped,
+		DupReadsSkipped:      s.DupReadsSkipped - o.DupReadsSkipped,
+		TicketsDiscarded:     s.TicketsDiscarded - o.TicketsDiscarded,
+		RollOvers:            s.RollOvers - o.RollOvers,
+		Reconfigs:            s.Reconfigs - o.Reconfigs,
+		CMSwitches:           s.CMSwitches - o.CMSwitches,
+		VersionsPublished:    s.VersionsPublished - o.VersionsPublished,
+		VersionsTrimmed:      s.VersionsTrimmed - o.VersionsTrimmed,
+		SnapshotLiveReads:    s.SnapshotLiveReads - o.SnapshotLiveReads,
+		SnapshotVersionReads: s.SnapshotVersionReads - o.SnapshotVersionReads,
 	}
 	for i := range s.AbortsByKind {
 		d.AbortsByKind[i] = s.AbortsByKind[i] - o.AbortsByKind[i]
@@ -162,16 +205,20 @@ func (s Stats) Sub(o Stats) Stats {
 // Add returns s + o field-wise.
 func (s Stats) Add(o Stats) Stats {
 	d := Stats{
-		Commits:          s.Commits + o.Commits,
-		Aborts:           s.Aborts + o.Aborts,
-		Extensions:       s.Extensions + o.Extensions,
-		LocksValidated:   s.LocksValidated + o.LocksValidated,
-		LocksSkipped:     s.LocksSkipped + o.LocksSkipped,
-		DupReadsSkipped:  s.DupReadsSkipped + o.DupReadsSkipped,
-		TicketsDiscarded: s.TicketsDiscarded + o.TicketsDiscarded,
-		RollOvers:        s.RollOvers + o.RollOvers,
-		Reconfigs:        s.Reconfigs + o.Reconfigs,
-		CMSwitches:       s.CMSwitches + o.CMSwitches,
+		Commits:              s.Commits + o.Commits,
+		Aborts:               s.Aborts + o.Aborts,
+		Extensions:           s.Extensions + o.Extensions,
+		LocksValidated:       s.LocksValidated + o.LocksValidated,
+		LocksSkipped:         s.LocksSkipped + o.LocksSkipped,
+		DupReadsSkipped:      s.DupReadsSkipped + o.DupReadsSkipped,
+		TicketsDiscarded:     s.TicketsDiscarded + o.TicketsDiscarded,
+		RollOvers:            s.RollOvers + o.RollOvers,
+		Reconfigs:            s.Reconfigs + o.Reconfigs,
+		CMSwitches:           s.CMSwitches + o.CMSwitches,
+		VersionsPublished:    s.VersionsPublished + o.VersionsPublished,
+		VersionsTrimmed:      s.VersionsTrimmed + o.VersionsTrimmed,
+		SnapshotLiveReads:    s.SnapshotLiveReads + o.SnapshotLiveReads,
+		SnapshotVersionReads: s.SnapshotVersionReads + o.SnapshotVersionReads,
 	}
 	for i := range s.AbortsByKind {
 		d.AbortsByKind[i] = s.AbortsByKind[i] + o.AbortsByKind[i]
