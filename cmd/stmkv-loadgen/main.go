@@ -10,6 +10,11 @@
 // -shift flips to a second mix (-read2/-theta2) halfway through the run —
 // the phase change the server's autotuner must re-adapt to.
 //
+// Connection failures and 503s are retried with capped exponential
+// backoff (~15s window), so a run rides through a server restart — kill
+// the daemon mid-load, restart it, and the summary's retries count shows
+// how much traffic waited out the WAL replay.
+//
 // Examples:
 //
 //	stmkv-loadgen -addr http://localhost:8080 -rate 5000 -duration 30s
@@ -21,6 +26,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"tinystm/internal/harness"
@@ -91,7 +98,9 @@ func main() {
 	if *preload {
 		r := rng.New(*seed)
 		for k := uint64(0); k < *keys; k++ {
-			if err := put(client, *addr, k, r.Uint64()%1000); err != nil {
+			k := k
+			v := r.Uint64() % 1000
+			if err := withRetry(func() error { return put(client, *addr, k, v) }); err != nil {
 				log.Fatalf("preload key %d: %v", k, err)
 			}
 		}
@@ -119,12 +128,15 @@ func main() {
 		Rate: *rate, Duration: *duration, Workers: *workers, Queue: *queue, Seed: *seed,
 		NewOp: func(w *harness.Worker) (func(*harness.Worker) error, func()) {
 			return func(w *harness.Worker) error {
-				return oneRequest(client, *addr, phase.Load(), w.Rng)
+				return withRetry(func() error {
+					return oneRequest(client, *addr, phase.Load(), w.Rng)
+				})
 			}, nil
 		},
 	}.Run()
 
-	log.Printf("offered=%d completed=%d dropped=%d errors=%d", res.Offered, res.Completed, res.Dropped, res.Errors)
+	log.Printf("offered=%d completed=%d dropped=%d errors=%d retries=%d",
+		res.Offered, res.Completed, res.Dropped, res.Errors, retries.Load())
 	log.Printf("throughput=%.0f req/s latency p50=%v p95=%v p99=%v max=%v",
 		res.Throughput, res.P50, res.P95, res.P99, res.Max)
 	if *minOps > 0 && res.Completed < *minOps {
@@ -134,6 +146,59 @@ func main() {
 	if res.Completed > 0 && res.Errors == res.Completed {
 		log.Print("FAIL: every request errored")
 		os.Exit(1)
+	}
+}
+
+// retries counts request attempts that failed retryably and were retried
+// — the measure of how much of a server restart the run rode through.
+var retries atomic.Uint64
+
+// statusError is a non-2xx HTTP response, kept typed so the retry policy
+// can distinguish "server temporarily unavailable" from a real failure.
+type statusError struct {
+	method, path, status string
+	code                 int
+}
+
+func (e statusError) Error() string {
+	return fmt.Sprintf("%s %s: %s", e.method, e.path, e.status)
+}
+
+// retryable reports whether an error is worth retrying: the connection
+// died (server killed or restarting — refused, reset, or cut mid-reply)
+// or the server answered 503 (WAL replay, degraded mode, shutdown). Any
+// other failure propagates immediately.
+func retryable(err error) bool {
+	var se statusError
+	if errors.As(err, &se) {
+		return se.code == http.StatusServiceUnavailable
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// withRetry runs fn, retrying retryable failures with exponential backoff
+// (50ms doubling, capped at 1s) up to maxAttempts — a window of ~15s,
+// enough to ride out a server restart plus WAL replay mid-load.
+func withRetry(fn func() error) error {
+	const (
+		maxAttempts = 16
+		maxBackoff  = time.Second
+	)
+	backoff := 50 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil || attempt >= maxAttempts || !retryable(err) {
+			return err
+		}
+		retries.Add(1)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
 	}
 }
 
@@ -189,7 +254,8 @@ func get(c *http.Client, base string, key uint64) error {
 	defer resp.Body.Close()
 	_, _ = io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
-		return fmt.Errorf("GET /kv/%d: %s", key, resp.Status)
+		return statusError{method: "GET", path: fmt.Sprintf("/kv/%d", key),
+			status: resp.Status, code: resp.StatusCode}
 	}
 	return nil
 }
@@ -212,7 +278,8 @@ func drain(resp *http.Response) error {
 	defer resp.Body.Close()
 	_, _ = io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("%s %s: %s", resp.Request.Method, resp.Request.URL.Path, resp.Status)
+		return statusError{method: resp.Request.Method, path: resp.Request.URL.Path,
+			status: resp.Status, code: resp.StatusCode}
 	}
 	return nil
 }
@@ -222,7 +289,8 @@ func decodeOK(resp *http.Response, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return fmt.Errorf("%s: %s", resp.Request.URL.Path, resp.Status)
+		return statusError{method: resp.Request.Method, path: resp.Request.URL.Path,
+			status: resp.Status, code: resp.StatusCode}
 	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {

@@ -9,11 +9,14 @@
 //	stmkvd -addr :9000 -geometry 2^16,0,1    # start at the paper's default
 //	stmkvd -autotune=false -design wt        # static write-through server
 //	stmkvd -period 200ms -samples 1          # fast tuning cadence (demos, CI)
+//	stmkvd -durability group -wal-dir /var/lib/stmkvd
+//	                                         # crash-safe: acks after group fsync,
+//	                                         # replays the WAL on restart
 //
 // Endpoints: GET/PUT/DELETE /kv/{key}, POST /kv/{key}/cas, POST
-// /kv/{key}/add, POST /batch, GET /stats, GET /tuning, GET /healthz. Keys
-// and values are uint64; see internal/kvserver for wire formats. Drive it
-// with cmd/stmkv-loadgen and watch /tuning re-adapt.
+// /kv/{key}/add, POST /batch, GET /stats, GET /tuning, GET /healthz,
+// GET /readyz. Keys and values are uint64; see internal/kvserver for wire
+// formats. Drive it with cmd/stmkv-loadgen and watch /tuning re-adapt.
 package main
 
 import (
@@ -56,6 +59,10 @@ func main() {
 		samples  = flag.Int("samples", 3, "samples per tuning decision (max kept)")
 		minc     = flag.Uint64("min-commits", 1, "pause tuning below this many commits per period")
 		seed     = flag.Uint64("seed", 42, "tuner move-selection seed")
+		durab    = flag.String("durability", "off", "write-ahead-log ack mode: off, async, group (needs -wal-dir)")
+		walDir   = flag.String("wal-dir", "", "write-ahead-log directory (segments and checkpoints)")
+		walBatch = flag.Duration("wal-batch", 0, "WAL group-commit batch delay (0 = flush immediately)")
+		ckptEvry = flag.Duration("checkpoint-every", 30*time.Second, "snapshot-checkpoint period for WAL truncation (0 = never)")
 	)
 	flag.Parse()
 
@@ -72,6 +79,10 @@ func main() {
 		log.Fatal(err)
 	}
 	ck, err := cm.ParseKind(*cmFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dmode, err := kvserver.ParseDurability(*durab)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,9 +104,26 @@ func main() {
 		Samples:          *samples,
 		MinPeriodCommits: *minc,
 		Seed:             *seed,
+		Durability:       dmode,
+		WALDir:           *walDir,
+		WALBatch:         *walBatch,
+		CheckpointEvery:  *ckptEvry,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if dmode != kvserver.DurabilityOff {
+		// Recovery runs in the background ( /healthz answers, /readyz is
+		// 503 meanwhile), but a recovery FAILURE — mid-log corruption, an
+		// unwritable directory — must kill the process loudly rather than
+		// leave a zombie that 503s forever.
+		go func() {
+			if err := srv.RecoveryWait(); err != nil {
+				log.Fatalf("wal recovery failed: %v", err)
+			}
+			log.Printf("wal recovery complete, serving (mode=%s dir=%s)", dmode, *walDir)
+		}()
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -184,6 +184,8 @@ func (tx *Tx) BeginSnap() {
 	tx.undo = tx.undo[:0]
 	tx.allocs = tx.allocs[:0]
 	tx.frees = tx.frees[:0]
+	tx.redo = tx.redo[:0]
+	tx.redoTicket = nil
 	// Register with the sidecar BEFORE taking the snapshot timestamp.
 	// Publishers skip version retention while no snapshot is registered,
 	// and every clock strategy makes a commit's timestamp visible before

@@ -21,6 +21,7 @@ type txStats struct {
 	ticketsDiscarded atomic.Uint64
 	snapLiveReads    atomic.Uint64
 	snapVersionReads atomic.Uint64
+	redoRecords      atomic.Uint64
 }
 
 // reset zeroes every counter; used when a released descriptor's totals
@@ -39,6 +40,7 @@ func (s *txStats) reset() {
 	s.ticketsDiscarded.Store(0)
 	s.snapLiveReads.Store(0)
 	s.snapVersionReads.Store(0)
+	s.redoRecords.Store(0)
 }
 
 func (s *txStats) snapshotInto(out *txn.Stats) {
@@ -54,4 +56,5 @@ func (s *txStats) snapshotInto(out *txn.Stats) {
 	out.TicketsDiscarded += s.ticketsDiscarded.Load()
 	out.SnapshotLiveReads += s.snapLiveReads.Load()
 	out.SnapshotVersionReads += s.snapVersionReads.Load()
+	out.RedoRecords += s.redoRecords.Load()
 }

@@ -50,6 +50,11 @@ type TM struct {
 	// read-only transactions; nil unless Config.Snapshots.
 	mvcc *mvcc.Store
 
+	// redoHook is the installed durability hook (SetRedoHook); nil when
+	// no durability layer is attached. Descriptors load it once per
+	// update commit and call it while their write locks are held.
+	redoHook redoHookPtr
+
 	// cmh holds the active contention-management policy behind one
 	// pointer load; descriptors pin it per attempt at Begin (like geo),
 	// so SetCM switches policies on a live TM without a freeze.

@@ -134,6 +134,14 @@ type Tx struct {
 	snapLiveReads    uint64
 	snapVersionReads uint64
 
+	// redo accumulates the attempt's logical redo records (Tx.Redo);
+	// redoTicket is the durability ticket the hook returned for the most
+	// recent commit; redoCommits batches the stats counter like the other
+	// hot-path counters.
+	redo        []txn.RedoOp
+	redoTicket  txn.DurableTicket
+	redoRecords uint64
+
 	// pub is the reusable pre-image staging buffer publishVersions fills
 	// each update commit when the MVCC sidecar is attached; pubSeen is
 	// its reusable write-through dedupe scratch (first undo record per
@@ -250,6 +258,8 @@ func (tx *Tx) Begin(readOnly bool) {
 	tx.undo = tx.undo[:0]
 	tx.allocs = tx.allocs[:0]
 	tx.frees = tx.frees[:0]
+	tx.redo = tx.redo[:0]
+	tx.redoTicket = nil
 	tx.rmask.reset()
 	tx.rmask2.reset()
 	if h == 1 {
@@ -374,6 +384,10 @@ func (tx *Tx) flushHotCounters() {
 	if tx.snapLiveReads != 0 {
 		tx.stats.snapLiveReads.Add(tx.snapLiveReads)
 		tx.snapLiveReads = 0
+	}
+	if tx.redoRecords != 0 {
+		tx.stats.redoRecords.Add(tx.redoRecords)
+		tx.redoRecords = 0
 	}
 	if tx.snapVersionReads != 0 {
 		tx.stats.snapVersionReads.Add(tx.snapVersionReads)
@@ -880,6 +894,9 @@ func (tx *Tx) Commit() bool {
 				tx.tm.space.Store(e.addr, e.value)
 			}
 		}
+		// Redo records go out while the write locks are still held, like
+		// the MVCC pre-images above: per-key hook order == commit order.
+		tx.publishRedo(ts)
 		newLW := mkVersionWB(ts)
 		for i := range tx.wset {
 			e := &tx.wset[i]
@@ -892,6 +909,7 @@ func (tx *Tx) Commit() bool {
 		if tx.tm.mvcc != nil {
 			tx.publishVersions(ts)
 		}
+		tx.publishRedo(ts)
 		newLW := mkVersionWT(ts, 0)
 		for _, rec := range tx.owned {
 			g.storeLock(rec.lockIdx, newLW)

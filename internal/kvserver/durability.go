@@ -1,0 +1,381 @@
+package kvserver
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tinystm/internal/kvstore"
+	"tinystm/internal/txn"
+	"tinystm/internal/wal"
+)
+
+// Durability ack modes.
+const (
+	// DurabilityOff runs without a write-ahead log: state dies with the
+	// process (the pre-WAL behaviour).
+	DurabilityOff = "off"
+	// DurabilityAsync logs every commit but acks before the log reaches
+	// stable storage: a crash loses at most the unflushed tail.
+	DurabilityAsync = "async"
+	// DurabilityGroup acks a mutating request only after its commit's
+	// redo records are fsynced; the flusher batches concurrent commits
+	// into one fsync (group commit).
+	DurabilityGroup = "group"
+)
+
+// ParseDurability validates a -durability flag value.
+func ParseDurability(s string) (string, error) {
+	switch s {
+	case "", DurabilityOff:
+		return DurabilityOff, nil
+	case DurabilityAsync, DurabilityGroup:
+		return s, nil
+	default:
+		return "", fmt.Errorf("kvserver: unknown durability mode %q (off, async, group)", s)
+	}
+}
+
+// Server lifecycle states. A durable server boots in stateStarting while
+// a background goroutine replays the WAL; it serves data traffic only
+// after flipping to stateReady. A WAL write/fsync failure flips it to
+// stateDegraded — committed memory keeps serving reads, but mutations
+// are refused because their durability can no longer be promised.
+// Unrecoverable recovery damage (mid-log corruption) parks it in
+// stateFailed: only health and stats endpoints answer, so an operator
+// can see why.
+const (
+	stateStarting int32 = iota
+	stateReady
+	stateDegraded
+	stateFailed
+)
+
+func stateName(st int32) string {
+	switch st {
+	case stateStarting:
+		return "starting"
+	case stateReady:
+		return "ready"
+	case stateDegraded:
+		return "degraded"
+	case stateFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// durability bundles the server's WAL machinery.
+type durability struct {
+	mode string
+	fs   wal.FS
+	dir  string
+
+	state atomic.Int32
+	log   *wal.Log
+
+	// recDone closes when the recovery goroutine finishes (either into
+	// stateReady or stateFailed); mu guards the error/stat fields below.
+	recDone chan struct{}
+
+	mu         sync.Mutex
+	recErr     error
+	recStats   wal.ReplayStats
+	degradeErr error
+
+	// Background checkpointer.
+	ckptStop    chan struct{}
+	ckptWG      sync.WaitGroup
+	nextCkpt    uint64
+	ckptCount   uint64
+	ckptLastErr error
+}
+
+// walSink adapts the log's tickets to the store's DurabilitySink.
+type walSink struct{ log *wal.Log }
+
+func (ws walSink) WaitDurable(t txn.DurableTicket) error { return t.(*wal.Pending).Wait() }
+
+// startDurability launches WAL recovery in the background so New returns
+// immediately and /healthz answers while a large log replays; /readyz
+// reports 503 until the flip to ready. Returns without starting anything
+// when durability is off.
+func (s *Server) startDurability() {
+	d := s.dur
+	if d.mode == DurabilityOff {
+		d.state.Store(stateReady)
+		close(d.recDone)
+		return
+	}
+	go s.recover()
+}
+
+// recover is the boot sequence of a durable server:
+//
+//  1. Replay: newest valid checkpoint + every segment, fold into state.
+//  2. Load the folded state into the store (durability still off, so
+//     loading does not re-log the records).
+//  3. Open the log on a fresh segment, write a BOOT CHECKPOINT of the
+//     recovered state, then drop every pre-boot segment and checkpoint.
+//     After this the on-disk era is entirely this process's: recovery
+//     never has to order this boot's (epoch, ts) positions against a
+//     previous incarnation's clock.
+//  4. Attach the redo hook and the store's durability mode, then flip to
+//     ready. Only now can traffic generate log records.
+//
+// Any error before ready parks the server in stateFailed with the cause:
+// serving writes that recovery may have dropped would be data loss.
+func (s *Server) recover() {
+	d := s.dur
+	fail := func(err error) {
+		d.mu.Lock()
+		d.recErr = err
+		d.mu.Unlock()
+		d.state.Store(stateFailed)
+		close(d.recDone)
+	}
+
+	pairs, stats, err := wal.Replay(d.fs, d.dir)
+	if err != nil {
+		fail(err)
+		return
+	}
+	d.mu.Lock()
+	d.recStats = stats
+	d.mu.Unlock()
+
+	s.store.Load(pairs)
+
+	if s.cfg.recoveryGate != nil {
+		// Test hook: hold the server in stateStarting until released so
+		// readiness behaviour is observable deterministically.
+		<-s.cfg.recoveryGate
+	}
+
+	log, err := wal.Open(wal.Config{
+		Dir:          d.dir,
+		FS:           d.fs,
+		SegmentBytes: s.cfg.WALSegmentBytes,
+		BatchDelay:   s.cfg.WALBatch,
+		OnError:      s.degrade,
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+	d.mu.Lock()
+	d.log = log
+	d.mu.Unlock()
+
+	bootCkpt := stats.MaxCheckpointIndex + 1
+	if err := wal.WriteCheckpoint(d.fs, d.dir, bootCkpt, 0, 0, pairs); err != nil {
+		log.Close()
+		fail(fmt.Errorf("kvserver: boot checkpoint: %w", err))
+		return
+	}
+	if err := log.DropSegmentsBefore(log.Stats().Segment); err != nil {
+		log.Close()
+		fail(fmt.Errorf("kvserver: drop pre-boot segments: %w", err))
+		return
+	}
+	if err := wal.RemoveCheckpointsBefore(d.fs, d.dir, bootCkpt); err != nil {
+		log.Close()
+		fail(fmt.Errorf("kvserver: drop pre-boot checkpoints: %w", err))
+		return
+	}
+	d.nextCkpt = bootCkpt + 1
+
+	var sink kvstore.DurabilitySink
+	if d.mode == DurabilityGroup {
+		sink = walSink{log: log}
+	}
+	if err := s.store.EnableDurability(sink); err != nil {
+		log.Close()
+		fail(err)
+		return
+	}
+	s.tm.SetRedoHook(func(epoch, ts uint64, ops []txn.RedoOp) txn.DurableTicket {
+		return log.Append(epoch, ts, ops)
+	})
+
+	// The checkpointer must exist before recDone closes: closeDurability
+	// waits on recDone and then tears it down, so starting it afterwards
+	// could leak it across a racing Close.
+	if s.cfg.CheckpointEvery > 0 {
+		d.ckptStop = make(chan struct{})
+		d.ckptWG.Add(1)
+		go s.checkpointLoop()
+	}
+
+	d.state.Store(stateReady)
+	close(d.recDone)
+}
+
+// degrade flips the server into sticky read-only mode; wired as the
+// log's OnError callback (fires once).
+func (s *Server) degrade(err error) {
+	d := s.dur
+	d.mu.Lock()
+	d.degradeErr = err
+	d.mu.Unlock()
+	d.state.CompareAndSwap(stateReady, stateDegraded)
+}
+
+// RecoveryWait blocks until WAL recovery finishes and returns its error
+// (nil when the server reached ready). With durability off it returns
+// immediately.
+func (s *Server) RecoveryWait() error {
+	<-s.dur.recDone
+	s.dur.mu.Lock()
+	defer s.dur.mu.Unlock()
+	return s.dur.recErr
+}
+
+// State reports the lifecycle state name (starting, ready, degraded,
+// failed).
+func (s *Server) State() string { return stateName(s.dur.state.Load()) }
+
+func (s *Server) checkpointLoop() {
+	d := s.dur
+	defer d.ckptWG.Done()
+	ticker := time.NewTicker(s.cfg.CheckpointEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.ckptStop:
+			return
+		case <-ticker.C:
+			// Failures are recorded for /stats and retried next tick: a
+			// missed checkpoint only delays truncation, it loses nothing.
+			err := s.Checkpoint()
+			d.mu.Lock()
+			d.ckptLastErr = err
+			d.mu.Unlock()
+		}
+	}
+}
+
+// Checkpoint takes one snapshot checkpoint and truncates the log prefix
+// it covers:
+//
+//  1. Rotate the log. Everything staged so far is now durable in
+//     segments below the returned index.
+//  2. Snapshot the store. The scan starts after those commits published,
+//     so its snapshot timestamp covers every record in the sealed
+//     prefix (later records may also be included — replay is idempotent
+//     over them).
+//  3. Write the checkpoint durably, THEN drop the sealed segments, then
+//     the now-superseded older checkpoints. A crash between any two
+//     steps leaves extra files, never missing state.
+//
+// Stores without a consistent snapshot scan (snapshot mode off) skip
+// checkpointing: the log then grows without truncation but recovery
+// stays correct.
+func (s *Server) Checkpoint() error {
+	d := s.dur
+	d.mu.Lock()
+	log := d.log
+	d.mu.Unlock()
+	if log == nil {
+		return fmt.Errorf("kvserver: no write-ahead log")
+	}
+	segIdx, err := log.Rotate()
+	if err != nil {
+		return err
+	}
+	pairs, epoch, ts, ok := s.store.CheckpointScan()
+	if !ok {
+		return fmt.Errorf("kvserver: store cannot take a consistent snapshot (snapshots disabled); skipping checkpoint")
+	}
+	d.mu.Lock()
+	idx := d.nextCkpt
+	d.nextCkpt++
+	d.mu.Unlock()
+	if err := wal.WriteCheckpoint(d.fs, d.dir, idx, epoch, ts, pairs); err != nil {
+		return err
+	}
+	if err := log.DropSegmentsBefore(segIdx); err != nil {
+		return err
+	}
+	if err := wal.RemoveCheckpointsBefore(d.fs, d.dir, idx); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.ckptCount++
+	d.mu.Unlock()
+	return nil
+}
+
+// closeDurability tears down the WAL half of Close: stop checkpointing,
+// detach the redo hook so no new records are staged, then close the log
+// (final drain). Requests still in flight may see their tickets resolve
+// with wal.ErrLogClosed and answer 503; the server is shutting down.
+func (s *Server) closeDurability() {
+	d := s.dur
+	if d.mode == DurabilityOff {
+		return
+	}
+	<-d.recDone
+	if d.ckptStop != nil {
+		close(d.ckptStop)
+		d.ckptWG.Wait()
+	}
+	s.tm.SetRedoHook(nil)
+	if d.log != nil {
+		d.log.Close()
+	}
+}
+
+// durabilityStats builds the /stats durability section.
+func (s *Server) durabilityStats(redoRecords uint64) map[string]any {
+	d := s.dur
+	out := map[string]any{
+		"mode":  d.mode,
+		"state": s.State(),
+	}
+	if d.mode == DurabilityOff {
+		return out
+	}
+	d.mu.Lock()
+	recErr, recStats := d.recErr, d.recStats
+	degradeErr := d.degradeErr
+	ckptCount, ckptLastErr := d.ckptCount, d.ckptLastErr
+	log := d.log
+	d.mu.Unlock()
+	rec := map[string]any{
+		"checkpoint_found":    recStats.CheckpointFound,
+		"checkpoint_pairs":    recStats.CheckpointPairs,
+		"checkpoints_skipped": recStats.CheckpointsSkipped,
+		"segments":            recStats.Segments,
+		"records":             recStats.Records,
+		"ops":                 recStats.Ops,
+		"torn_bytes":          recStats.TornBytes,
+	}
+	if recErr != nil {
+		rec["error"] = recErr.Error()
+	}
+	out["recovery"] = rec
+	out["redo_records"] = redoRecords
+	if degradeErr != nil {
+		out["degraded_error"] = degradeErr.Error()
+	}
+	ckpt := map[string]any{"count": ckptCount}
+	if ckptLastErr != nil {
+		ckpt["last_error"] = ckptLastErr.Error()
+	}
+	out["checkpoints"] = ckpt
+	if log != nil {
+		ls := log.Stats()
+		out["wal"] = map[string]any{
+			"appends":   ls.Appends,
+			"batches":   ls.Batches,
+			"syncs":     ls.Syncs,
+			"rotations": ls.Rotations,
+			"segment":   ls.Segment,
+			"failed":    ls.Failed,
+		}
+	}
+	return out
+}

@@ -15,11 +15,18 @@
 //	POST   /batch             body {"ops":[...]}      -> {"results":[...]}
 //	GET    /scan              full-table scan (one snapshot transaction)
 //	                          ?limit=N caps pairs     -> {"keys":n,"pairs":[...]}
-//	GET    /stats             TM counters + store size
+//	GET    /stats             TM counters + store size + durability state
 //	GET    /tuning            live autotune trace
-//	GET    /healthz           liveness
+//	GET    /healthz           liveness (always 200 while the process runs)
+//	GET    /readyz            readiness: 503 + Retry-After during WAL
+//	                          replay, degraded read-only mode, or after a
+//	                          failed recovery; 200 once serving normally
 //
-// Keys are decimal uint64 path segments; values are uint64.
+// Keys are decimal uint64 path segments; values are uint64. With
+// Config.Durability set, mutating requests are written ahead to a
+// commit-ordered log (see internal/wal) and, in group mode, acked only
+// once durable; on boot the server replays the log in the background
+// before flipping /readyz to 200.
 package kvserver
 
 import (
@@ -35,6 +42,7 @@ import (
 	"tinystm/internal/kvstore"
 	"tinystm/internal/mem"
 	"tinystm/internal/tuning"
+	"tinystm/internal/wal"
 )
 
 // Config parameterizes a Server.
@@ -82,6 +90,28 @@ type Config struct {
 	// Now and After are the runtime's injectable clocks (tests).
 	Now   func() time.Time
 	After func(time.Duration) <-chan time.Time
+	// Durability selects the write-ahead-log ack mode: "off" (default —
+	// no log), "async" (logged, acked before fsync) or "group" (acked
+	// only after the commit's records are fsynced; concurrent commits
+	// share one fsync). Requires Snapshots for checkpoint truncation.
+	Durability string
+	// WALDir is the log/checkpoint directory; required unless off.
+	WALDir string
+	// WALBatch is the flusher's batch-accumulation delay (0: flush as
+	// soon as records appear). Larger values trade ack latency for fewer
+	// fsyncs.
+	WALBatch time.Duration
+	// WALSegmentBytes sets the segment rotation size (0: wal default).
+	WALSegmentBytes int64
+	// CheckpointEvery is the background snapshot-checkpoint period; 0
+	// disables checkpointing (the log then grows without truncation).
+	CheckpointEvery time.Duration
+	// WALFS overrides the log's filesystem (fault-injection tests);
+	// nil means the real OS.
+	WALFS wal.FS
+	// recoveryGate, when set by a test, holds boot recovery open (the
+	// server stays in the starting state) until the channel is closed.
+	recoveryGate chan struct{}
 }
 
 func (c Config) withDefaults() Config {
@@ -104,10 +134,14 @@ func (c Config) withDefaults() Config {
 	if !c.Snapshots {
 		c.TuneSnapshots = false
 	}
+	if c.Durability == "" {
+		c.Durability = DurabilityOff
+	}
 	return c
 }
 
-// Server owns the TM, the store and (optionally) the tuning runtime.
+// Server owns the TM, the store, (optionally) the tuning runtime and
+// (optionally) the durability machinery.
 type Server struct {
 	cfg   Config
 	tm    *core.TM
@@ -115,6 +149,7 @@ type Server struct {
 	rt    *tuning.Runtime
 	mux   *http.ServeMux
 	start time.Time
+	dur   *durability
 }
 
 // validate rejects configurations the lower layers would panic on, so
@@ -128,6 +163,12 @@ func (c Config) validate() error {
 	}
 	if c.Buckets == 0 || bits.OnesCount64(c.Buckets) != 1 {
 		return fmt.Errorf("kvserver: Buckets (%d) must be a power of two", c.Buckets)
+	}
+	if _, err := ParseDurability(c.Durability); err != nil {
+		return err
+	}
+	if c.Durability != DurabilityOff && c.Durability != "" && c.WALDir == "" {
+		return fmt.Errorf("kvserver: durability %q requires a WAL directory", c.Durability)
 	}
 	return nil
 }
@@ -178,6 +219,13 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	s.dur = &durability{
+		mode:    cfg.Durability,
+		fs:      cfg.WALFS,
+		dir:     cfg.WALDir,
+		recDone: make(chan struct{}),
+	}
+	s.startDurability()
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s, nil
@@ -192,26 +240,39 @@ func (s *Server) Store() *kvstore.Store[*core.Tx] { return s.store }
 // Runtime returns the attached tuning runtime, nil without Autotune.
 func (s *Server) Runtime() *tuning.Runtime { return s.rt }
 
-// Close stops the tuning runtime and releases every pooled descriptor
-// back to the TM (the server-side half of the Tx.Release contract: a
-// shut-down server leaks no descriptor slots).
+// Close stops the checkpointer and the write-ahead log, then the tuning
+// runtime, and releases every pooled descriptor back to the TM (the
+// server-side half of the Tx.Release contract: a shut-down server leaks
+// no descriptor slots).
 func (s *Server) Close() {
+	s.closeDurability()
 	if s.rt != nil {
 		s.rt.Stop()
 	}
 	s.store.Close()
 }
 
-// Handler returns the root handler: the route mux wrapped in a recover
-// layer that converts arena exhaustion into 507 instead of tearing down
+// Handler returns the root handler: a lifecycle gate in front of the
+// route mux, wrapped in a recover layer that converts arena exhaustion
+// into 507 and a failed durability wait into 503 instead of tearing down
 // the connection's goroutine. Any other panic is a real bug and is
 // re-raised for net/http's connection-level recovery to log.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.admit(w, r) {
+			return
+		}
 		defer func() {
 			if rec := recover(); rec != nil {
 				if rec == core.ErrSpaceExhausted {
 					http.Error(w, core.ErrSpaceExhausted.Error(), http.StatusInsufficientStorage)
+					return
+				}
+				if derr, ok := rec.(*kvstore.DurabilityError); ok {
+					// The commit exists in memory but its log records
+					// never reached disk: refuse the ack. The WAL's
+					// OnError has already flipped the server degraded.
+					http.Error(w, derr.Error(), http.StatusServiceUnavailable)
 					return
 				}
 				panic(rec)
@@ -221,9 +282,54 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
+// admit applies the lifecycle gate. Health, readiness and observability
+// endpoints always answer; everything else requires a ready server —
+// except in degraded mode, where reads still serve (committed memory is
+// intact) and only mutations are refused.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	switch r.URL.Path {
+	case "/healthz", "/readyz", "/stats", "/tuning":
+		return true
+	}
+	switch s.dur.state.Load() {
+	case stateReady:
+		return true
+	case stateDegraded:
+		if r.Method == http.MethodGet {
+			return true
+		}
+		s.unavailable(w, "degraded: write-ahead log failed; serving reads only")
+		return false
+	case stateFailed:
+		s.unavailable(w, "recovery failed; see /stats")
+		return false
+	default: // stateStarting
+		s.unavailable(w, "recovering write-ahead log")
+		return false
+	}
+}
+
+// unavailable answers 503 with a Retry-After hint so pollers and load
+// balancers back off politely.
+func (s *Server) unavailable(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, msg, http.StatusServiceUnavailable)
+}
+
 func (s *Server) routes() {
+	// Liveness and readiness are distinct on purpose: a server replaying
+	// a large WAL, or degraded to read-only, is alive (don't restart it —
+	// that only repeats the replay) but not ready (don't route writes to
+	// it).
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if st := s.dur.state.Load(); st != stateReady {
+			s.unavailable(w, stateName(st))
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	})
 	s.mux.HandleFunc("GET /kv/{key}", s.handleGet)
 	s.mux.HandleFunc("PUT /kv/{key}", s.handlePut)
@@ -437,6 +543,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"reads_sidecar":           st.SnapshotVersionReads,
 			"aborts_snapshot_too_old": tooOld,
 		},
+		"durability": s.durabilityStats(st.RedoRecords),
 	})
 }
 

@@ -1,0 +1,142 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"tinystm/internal/txn"
+)
+
+// Durability integration. With durability enabled, every Store operation
+// records its EFFECTIVE state changes inside the atomic body via the
+// STM's redo capture (core.Tx.Redo): a CAS that failed records nothing,
+// an Add records the resulting value as a plain put, so replay is a pure
+// fold of puts and deletes. The STM hands the records to the installed
+// redo hook (the WAL) during commit publication and leaves a durability
+// ticket on the descriptor; operations configured to ack-after-durable
+// collect that ticket right after their atomic block and block on the
+// sink until the commit's log records are fsynced.
+//
+// Structural transactions — shard growth, recovery loading — are never
+// logged: they do not change the logical key/value state.
+
+// DurabilitySink is how a Store waits for one commit's redo records to
+// become durable. kvserver backs it with wal.Pending.Wait.
+type DurabilitySink interface {
+	WaitDurable(t txn.DurableTicket) error
+}
+
+// DurabilityError is the panic value of a Store operation whose commit
+// could not be made durable: the transaction IS committed in memory, but
+// the write-ahead log failed before fsyncing its records, so the write
+// must not be acked. Like txn.ErrSpaceExhausted it unwinds to the server
+// handler, which maps it to 503 and flips the store into degraded
+// read-only mode (the WAL's failure is sticky).
+type DurabilityError struct{ Err error }
+
+func (e *DurabilityError) Error() string {
+	return fmt.Sprintf("kvstore: commit not durable: %v", e.Err)
+}
+
+func (e *DurabilityError) Unwrap() error { return e.Err }
+
+// redoer is the capability surface of a descriptor that supports redo
+// capture (core.Tx does; tl2 does not).
+type redoer interface {
+	Redo(op txn.RedoOp)
+	RedoTicket() txn.DurableTicket
+}
+
+// positioned is the capability surface for stamping a snapshot scan with
+// its (clock epoch, snapshot timestamp) position.
+type positioned interface {
+	Snapshot() (start, end uint64)
+	ClockEpoch() uint64
+}
+
+// EnableDurability turns on redo capture for all subsequent mutating
+// operations. With a non-nil sink they additionally block until their
+// commit is durable before returning (group/sync acks); with a nil sink
+// records are captured and handed to the redo hook but nobody waits
+// (async acks). Returns an error if the STM's descriptors cannot capture
+// redo records. Call before admitting traffic that must be logged; not
+// safe to toggle concurrently with operations.
+func (s *Store[T]) EnableDurability(sink DurabilitySink) error {
+	var zero T
+	if _, ok := any(zero).(redoer); !ok {
+		return fmt.Errorf("kvstore: STM descriptor %T does not support redo capture", zero)
+	}
+	s.durable = true
+	s.sink = sink
+	return nil
+}
+
+// redo records one effective state change if durability is on. Must be
+// called inside the atomic body: records belong to the current attempt
+// and die with it on abort.
+func (s *Store[T]) redo(tx T, kind txn.RedoKind, key, val uint64) {
+	if !s.durable {
+		return
+	}
+	any(tx).(redoer).Redo(txn.RedoOp{Kind: kind, Key: key, Val: val})
+}
+
+// ticket collects the durability ticket of tx's most recent commit. It
+// must run IMMEDIATELY after the operation's atomic block — before
+// tryGrow, whose follow-up transaction's Begin clears the descriptor's
+// ticket.
+func (s *Store[T]) ticket(tx T) txn.DurableTicket {
+	if !s.durable || s.sink == nil {
+		return nil
+	}
+	return any(tx).(redoer).RedoTicket()
+}
+
+// waitDurable blocks until the ticket's records are on stable storage,
+// escalating failure as a DurabilityError panic.
+func (s *Store[T]) waitDurable(t txn.DurableTicket) {
+	if t == nil {
+		return
+	}
+	if err := s.sink.WaitDurable(t); err != nil {
+		panic(&DurabilityError{Err: err})
+	}
+}
+
+// Load bulk-inserts recovered state. Recovery-only: must run before
+// EnableDurability (reloading replayed records back into the log would
+// double them) and before the store takes traffic.
+func (s *Store[T]) Load(pairs map[uint64]uint64) {
+	if s.durable {
+		panic("kvstore: Load after EnableDurability")
+	}
+	for k, v := range pairs {
+		s.Put(k, v)
+	}
+}
+
+// CheckpointScan captures the full table in ONE consistent transaction —
+// the snapshot a checkpoint may be built from — plus the (clock epoch,
+// snapshot timestamp) position it was taken at. ok reports whether the
+// scan really was a single consistent snapshot with a known position;
+// without snapshot mode or position support it returns ok=false and the
+// caller must not checkpoint from it (per-shard fallbacks are not
+// mutually consistent).
+func (s *Store[T]) CheckpointScan() (pairs map[uint64]uint64, epoch, ts uint64, ok bool) {
+	var zero T
+	if _, can := any(zero).(positioned); !can || s.snap == nil {
+		return nil, 0, 0, false
+	}
+	tx := s.pool.Get()
+	defer s.pool.Put(tx)
+	s.snap.AtomicSnap(tx, func(tx T) {
+		pairs = make(map[uint64]uint64)
+		p := any(tx).(positioned)
+		ts, _ = p.Snapshot()
+		epoch = p.ClockEpoch()
+		s.m.Range(tx, func(k, v uint64) bool {
+			pairs[k] = v
+			return true
+		})
+	})
+	return pairs, epoch, ts, true
+}

@@ -87,6 +87,10 @@ type Store[T txn.Tx] struct {
 	// pressure, instead of as classic read-only transactions that abort
 	// whenever a concurrent writer moves the clock past their snapshot.
 	snap txn.SnapshotSystem[T]
+	// durable/sink: redo capture and ack-after-durable waiting; see
+	// durable.go. Set once via EnableDurability before traffic starts.
+	durable bool
+	sink    DurabilitySink
 }
 
 // NewStore builds the Map inside sys and wraps it.
@@ -138,10 +142,15 @@ func (s *Store[T]) Put(key, val uint64) (inserted bool) {
 	s.sys.Atomic(tx, func(tx T) {
 		inserted = s.m.Put(tx, key, val)
 		grow = inserted && s.m.NeedsGrow(tx, sh)
+		s.redo(tx, txn.RedoPut, key, val)
 	})
+	// The ticket must be read before tryGrow: the growth transaction's
+	// Begin clears it from the descriptor.
+	t := s.ticket(tx)
 	if grow {
 		s.tryGrow(tx, sh)
 	}
+	s.waitDurable(t)
 	return inserted
 }
 
@@ -164,7 +173,13 @@ func (s *Store[T]) tryGrow(tx T, sh uint64) {
 func (s *Store[T]) Delete(key uint64) (found bool) {
 	tx := s.pool.Get()
 	defer s.pool.Put(tx)
-	s.sys.Atomic(tx, func(tx T) { found = s.m.Delete(tx, key) })
+	s.sys.Atomic(tx, func(tx T) {
+		found = s.m.Delete(tx, key)
+		if found {
+			s.redo(tx, txn.RedoDelete, key, 0)
+		}
+	})
+	s.waitDurable(s.ticket(tx))
 	return found
 }
 
@@ -172,7 +187,13 @@ func (s *Store[T]) Delete(key uint64) (found bool) {
 func (s *Store[T]) CAS(key, old, new uint64) (ok bool) {
 	tx := s.pool.Get()
 	defer s.pool.Put(tx)
-	s.sys.Atomic(tx, func(tx T) { ok = s.m.CAS(tx, key, old, new) })
+	s.sys.Atomic(tx, func(tx T) {
+		ok = s.m.CAS(tx, key, old, new)
+		if ok {
+			s.redo(tx, txn.RedoPut, key, new)
+		}
+	})
+	s.waitDurable(s.ticket(tx))
 	return ok
 }
 
@@ -186,10 +207,13 @@ func (s *Store[T]) Add(key, delta uint64) (val uint64) {
 	s.sys.Atomic(tx, func(tx T) {
 		val = s.m.Add(tx, key, delta)
 		grow = s.m.NeedsGrow(tx, sh)
+		s.redo(tx, txn.RedoPut, key, val)
 	})
+	t := s.ticket(tx)
 	if grow {
 		s.tryGrow(tx, sh)
 	}
+	s.waitDurable(t)
 	return val
 }
 
@@ -281,13 +305,21 @@ func (s *Store[T]) Apply(ops []Op) []OpResult {
 			case OpPut:
 				res[i].OK = s.m.Put(tx, op.Key, op.Val)
 				res[i].Found = !res[i].OK
+				s.redo(tx, txn.RedoPut, op.Key, op.Val)
 			case OpDelete:
 				res[i].Found = s.m.Delete(tx, op.Key)
+				if res[i].Found {
+					s.redo(tx, txn.RedoDelete, op.Key, 0)
+				}
 			case OpCAS:
 				res[i].OK = s.m.CAS(tx, op.Key, op.Old, op.Val)
+				if res[i].OK {
+					s.redo(tx, txn.RedoPut, op.Key, op.Val)
+				}
 			case OpAdd:
 				res[i].Val = s.m.Add(tx, op.Key, op.Val)
 				res[i].OK = true
+				s.redo(tx, txn.RedoPut, op.Key, res[i].Val)
 			default:
 				panic(fmt.Sprintf("kvstore: unknown batch op %d", int(op.Kind)))
 			}
@@ -298,10 +330,12 @@ func (s *Store[T]) Apply(ops []Op) []OpResult {
 		// offers it: one consistent timestamp, no validation, no aborts
 		// from concurrent writers.
 		s.atomicRO(tx, body)
-	} else {
-		s.sys.Atomic(tx, body)
+		return res
 	}
+	s.sys.Atomic(tx, body)
+	t := s.ticket(tx)
 	s.growTouched(tx, ops)
+	s.waitDurable(t)
 	return res
 }
 

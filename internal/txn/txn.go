@@ -75,6 +75,56 @@ type SnapshotSystem[T Tx] interface {
 	AtomicSnap(tx T, fn func(T))
 }
 
+// RedoKind names one logical redo operation a committed transaction
+// contributes to a write-ahead log.
+type RedoKind uint8
+
+const (
+	// RedoPut records "key now holds val". Read-modify-writes (CAS, Add)
+	// log their EFFECTIVE result as a put, so replay is a pure fold of
+	// puts and deletes with no operation semantics of its own.
+	RedoPut RedoKind = iota
+	// RedoDelete records "key is now absent".
+	RedoDelete
+)
+
+// String returns the wire name used in log dumps and tests.
+func (k RedoKind) String() string {
+	switch k {
+	case RedoPut:
+		return "put"
+	case RedoDelete:
+		return "delete"
+	default:
+		return "unknown"
+	}
+}
+
+// RedoOp is one logical state change of a committed transaction: the redo
+// record a durability layer persists and replays after a crash.
+type RedoOp struct {
+	Kind RedoKind
+	Key  uint64
+	Val  uint64
+}
+
+// DurableTicket is an opaque handle a RedoHook returns for one committed
+// transaction's redo records; the caller that needs ack-after-durable
+// semantics hands it back to the durability layer and blocks until the
+// records reach stable storage.
+type DurableTicket any
+
+// RedoHook receives one committed update transaction's redo records,
+// tagged with its clock epoch and commit timestamp. The STM calls it
+// during commit publication WHILE THE WRITE LOCKS ARE STILL HELD: for any
+// two transactions that touched a common key, the hook calls are therefore
+// ordered exactly like their commit timestamps, which is what lets a
+// write-ahead log reconstruct per-key history from append order. The hook
+// must be fast and must not panic; the ops slice is only valid for the
+// duration of the call (the descriptor reuses it) and must be copied if
+// retained.
+type RedoHook func(epoch, ts uint64, ops []RedoOp) DurableTicket
+
 // AbortKind classifies why a transaction aborted.
 type AbortKind int
 
@@ -176,6 +226,10 @@ type Stats struct {
 	// SnapshotVersionReads counts reads served from the sidecar.
 	SnapshotLiveReads    uint64
 	SnapshotVersionReads uint64
+	// RedoRecords counts redo records handed to the attached RedoHook by
+	// committed update transactions (TinySTM with a durability layer
+	// attached).
+	RedoRecords uint64
 }
 
 // Sub returns s - o field-wise; used to compute per-interval deltas.
@@ -195,6 +249,7 @@ func (s Stats) Sub(o Stats) Stats {
 		VersionsTrimmed:      s.VersionsTrimmed - o.VersionsTrimmed,
 		SnapshotLiveReads:    s.SnapshotLiveReads - o.SnapshotLiveReads,
 		SnapshotVersionReads: s.SnapshotVersionReads - o.SnapshotVersionReads,
+		RedoRecords:          s.RedoRecords - o.RedoRecords,
 	}
 	for i := range s.AbortsByKind {
 		d.AbortsByKind[i] = s.AbortsByKind[i] - o.AbortsByKind[i]
@@ -219,6 +274,7 @@ func (s Stats) Add(o Stats) Stats {
 		VersionsTrimmed:      s.VersionsTrimmed + o.VersionsTrimmed,
 		SnapshotLiveReads:    s.SnapshotLiveReads + o.SnapshotLiveReads,
 		SnapshotVersionReads: s.SnapshotVersionReads + o.SnapshotVersionReads,
+		RedoRecords:          s.RedoRecords + o.RedoRecords,
 	}
 	for i := range s.AbortsByKind {
 		d.AbortsByKind[i] = s.AbortsByKind[i] + o.AbortsByKind[i]

@@ -1,0 +1,448 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tinystm/internal/txn"
+)
+
+// ErrLogClosed resolves tickets that were still staged when the log shut
+// down: their records were never made durable.
+var ErrLogClosed = errors.New("wal: log closed")
+
+// Config configures a Log.
+type Config struct {
+	// Dir is the WAL directory (segments and checkpoints live together).
+	Dir string
+	// FS is the filesystem; nil means the real OS.
+	FS FS
+	// SegmentBytes rotates to a fresh segment once the current one grows
+	// past this size. <= 0 picks a default (4 MiB).
+	SegmentBytes int64
+	// BatchDelay is how long the flusher dallies after waking before it
+	// drains the staging stack, trading ack latency for larger batches
+	// (fewer fsyncs). Zero flushes as soon as work appears.
+	BatchDelay time.Duration
+	// OnError, if set, is called exactly once when a write or fsync fails
+	// and the log enters its sticky failed state. Called from the flusher
+	// goroutine; must not block on WAL operations.
+	OnError func(error)
+}
+
+// Stats is a point-in-time snapshot of log counters.
+type Stats struct {
+	// Appends counts records staged; Batches counts flusher drains that
+	// reached disk; Syncs counts fsyncs (one per batch plus segment
+	// headers); Rotations counts segment rollovers.
+	Appends   uint64
+	Batches   uint64
+	Syncs     uint64
+	Rotations uint64
+	// Segment is the index of the segment currently being written.
+	Segment uint64
+	// Failed reports the sticky failed state.
+	Failed bool
+}
+
+// Pending is the durability ticket for one Append: it resolves once the
+// record's batch is fsynced (nil error) or the log fails. It satisfies
+// txn.DurableTicket so the STM redo hook can return it opaquely.
+type Pending struct {
+	rec  Record
+	next *Pending
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the record is durable and returns the outcome.
+func (p *Pending) Wait() error {
+	<-p.done
+	return p.err
+}
+
+// Log is the write-ahead log: a lock-free staging stack drained by one
+// flusher goroutine into checksummed, length-prefixed, fsynced segments.
+type Log struct {
+	cfg  Config
+	head atomic.Pointer[Pending]
+	wake chan struct{}
+
+	// mu guards the current segment (file handle, index, size) and the
+	// sticky failure. The flusher holds it across a batch; Rotate and
+	// DropSegmentsBefore take it from checkpointer context.
+	mu       sync.Mutex
+	cur      File
+	curIndex uint64
+	curSize  int64
+	failErr  error
+
+	failed    atomic.Bool
+	errorOnce sync.Once
+
+	closing   chan struct{}
+	closeOnce sync.Once
+	flusherWG sync.WaitGroup
+
+	appends   atomic.Uint64
+	batches   atomic.Uint64
+	syncs     atomic.Uint64
+	rotations atomic.Uint64
+}
+
+// Open creates (or reopens) the log in cfg.Dir and starts the flusher.
+// Existing segments are never appended to: writing always begins on a
+// fresh segment numbered after the highest on disk, so every index is
+// used by at most one process lifetime. Callers recover existing state
+// with Replay before Open and truncate the old era once a boot
+// checkpoint is durable.
+func Open(cfg Config) (*Log, error) {
+	if cfg.FS == nil {
+		cfg.FS = OS
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = 4 << 20
+	}
+	if err := cfg.FS.MkdirAll(cfg.Dir); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", cfg.Dir, err)
+	}
+	names, err := cfg.FS.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: scan %s: %w", cfg.Dir, err)
+	}
+	var maxSeg uint64
+	for _, name := range names {
+		if idx, ok := parseSegName(name); ok && idx > maxSeg {
+			maxSeg = idx
+		}
+	}
+	l := &Log{
+		cfg:     cfg,
+		wake:    make(chan struct{}, 1),
+		closing: make(chan struct{}),
+	}
+	l.mu.Lock()
+	err = l.openSegmentLocked(maxSeg + 1)
+	l.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	l.flusherWG.Add(1)
+	go l.run()
+	return l, nil
+}
+
+// Append stages one committed transaction's redo records and returns its
+// durability ticket. Safe for any number of concurrent callers; called
+// from inside STM commit publication, so it must not block. The ops
+// slice is copied (the transaction descriptor reuses it).
+func (l *Log) Append(epoch, ts uint64, ops []txn.RedoOp) *Pending {
+	p := &Pending{
+		rec:  Record{Epoch: epoch, TS: ts, Ops: append([]txn.RedoOp(nil), ops...)},
+		done: make(chan struct{}),
+	}
+	l.push(p)
+	l.appends.Add(1)
+	return p
+}
+
+func (l *Log) push(p *Pending) {
+	for {
+		old := l.head.Load()
+		p.next = old
+		if l.head.CompareAndSwap(old, p) {
+			break
+		}
+	}
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Flush blocks until everything staged before the call is durable. It
+// works by staging a zero-op barrier ticket: the flusher resolves tickets
+// strictly after fsyncing their batch, and the barrier's batch includes
+// all earlier stages.
+func (l *Log) Flush() error {
+	if err := l.FailedErr(); err != nil {
+		return err
+	}
+	p := &Pending{done: make(chan struct{})}
+	l.push(p)
+	return p.Wait()
+}
+
+// Rotate flushes, seals the current segment and starts a new one,
+// returning the new segment's index. Everything staged before the call
+// lives in segments below the returned index — the checkpointer calls
+// Rotate, snapshots the store (which by then reflects every one of those
+// records), writes the checkpoint, and hands the returned index to
+// DropSegmentsBefore.
+func (l *Log) Rotate() (uint64, error) {
+	if err := l.Flush(); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failErr != nil {
+		return 0, l.failErr
+	}
+	if err := l.rotateLocked(); err != nil {
+		l.failLocked(err)
+		return 0, err
+	}
+	return l.curIndex, nil
+}
+
+// DropSegmentsBefore removes every segment with index < idx. Only ever
+// called with an index obtained from Rotate (or Open) after a checkpoint
+// covering the dropped prefix is durable: truncation must remove a
+// prefix of segments, never a middle, or replay's last-record-wins fold
+// stops being valid.
+func (l *Log) DropSegmentsBefore(idx uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names, err := l.cfg.FS.ReadDir(l.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, name := range names {
+		if i, ok := parseSegName(name); ok && i < idx {
+			if err := l.cfg.FS.Remove(path.Join(l.cfg.Dir, name)); err != nil {
+				return err
+			}
+			removed = true
+		}
+	}
+	if removed {
+		return l.cfg.FS.SyncDir(l.cfg.Dir)
+	}
+	return nil
+}
+
+// FailedErr returns the sticky failure, or nil while the log is healthy.
+func (l *Log) FailedErr() error {
+	if !l.failed.Load() {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failErr
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	seg := l.curIndex
+	l.mu.Unlock()
+	return Stats{
+		Appends:   l.appends.Load(),
+		Batches:   l.batches.Load(),
+		Syncs:     l.syncs.Load(),
+		Rotations: l.rotations.Load(),
+		Segment:   seg,
+		Failed:    l.failed.Load(),
+	}
+}
+
+// Close stops the flusher after a final drain and closes the segment.
+// The caller must have stopped producing appends (detach the redo hook
+// first); any ticket staged during shutdown resolves with ErrLogClosed.
+func (l *Log) Close() error {
+	l.closeOnce.Do(func() { close(l.closing) })
+	l.flusherWG.Wait()
+	// The flusher is gone; resolve any stragglers that raced the final
+	// drain so no waiter hangs.
+	for p := l.head.Swap(nil); p != nil; p = p.next {
+		p.err = ErrLogClosed
+		close(p.done)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cur != nil {
+		err := l.cur.Close()
+		l.cur = nil
+		return err
+	}
+	return nil
+}
+
+// run is the flusher: wake, optionally dally to grow the batch, drain,
+// write one frame, fsync once, resolve tickets, maybe rotate.
+func (l *Log) run() {
+	defer l.flusherWG.Done()
+	for {
+		select {
+		case <-l.wake:
+			if l.cfg.BatchDelay > 0 {
+				time.Sleep(l.cfg.BatchDelay)
+			}
+			l.commitBatch(l.takeBatch())
+		case <-l.closing:
+			// Final drain: whatever is staged either gets made durable
+			// (healthy log) or resolved with the sticky error.
+			l.commitBatch(l.takeBatch())
+			return
+		}
+	}
+}
+
+// takeBatch swaps the staging stack empty and returns the tickets in
+// append order. The Treiber stack yields LIFO, so reverse; then a stable
+// sort by (epoch, ts) makes each frame — and therefore each segment —
+// timestamp-ordered. Per-key correctness never depends on the sort:
+// conflicting commits serialize through their stripe lock, so append
+// order already agrees with per-key timestamp order and the stable sort
+// preserves it; the sort only tidies the interleaving of unrelated keys.
+func (l *Log) takeBatch() []*Pending {
+	top := l.head.Swap(nil)
+	if top == nil {
+		return nil
+	}
+	var batch []*Pending
+	for p := top; p != nil; p = p.next {
+		batch = append(batch, p)
+	}
+	for i, j := 0, len(batch)-1; i < j; i, j = i+1, j-1 {
+		batch[i], batch[j] = batch[j], batch[i]
+	}
+	sort.SliceStable(batch, func(i, j int) bool {
+		a, b := &batch[i].rec, &batch[j].rec
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
+		}
+		return a.TS < b.TS
+	})
+	return batch
+}
+
+func (l *Log) commitBatch(batch []*Pending) {
+	if len(batch) == 0 {
+		return
+	}
+	l.mu.Lock()
+	err := l.failErr
+	if err == nil {
+		recs := make([]Record, 0, len(batch))
+		for _, p := range batch {
+			if len(p.rec.Ops) > 0 {
+				recs = append(recs, p.rec)
+			}
+		}
+		if len(recs) > 0 {
+			err = l.writeAndSyncLocked(encodeFrame(recs))
+		}
+		if err == nil {
+			l.batches.Add(1)
+			if l.curSize > l.cfg.SegmentBytes {
+				// Rotation failure poisons the log but not this batch:
+				// its bytes are already durable in the sealed segment.
+				if rerr := l.rotateLocked(); rerr != nil {
+					l.failLocked(rerr)
+				}
+			}
+		} else {
+			l.failLocked(err)
+		}
+	}
+	l.mu.Unlock()
+	for _, p := range batch {
+		p.err = err
+		close(p.done)
+	}
+}
+
+func (l *Log) writeAndSyncLocked(frame []byte) error {
+	if _, err := l.cur.Write(frame); err != nil {
+		return fmt.Errorf("wal: write segment %d: %w", l.curIndex, err)
+	}
+	l.curSize += int64(len(frame))
+	l.syncs.Add(1)
+	if err := l.cur.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync segment %d: %w", l.curIndex, err)
+	}
+	return nil
+}
+
+// failLocked enters the sticky failed state. Every in-flight and future
+// ticket resolves with the error; OnError fires once so the server can
+// flip to degraded read-only mode.
+func (l *Log) failLocked(err error) {
+	if l.failErr != nil {
+		return
+	}
+	l.failErr = err
+	l.failed.Store(true)
+	if l.cfg.OnError != nil {
+		l.errorOnce.Do(func() { l.cfg.OnError(err) })
+	}
+}
+
+// rotateLocked seals the current segment and opens the next index.
+func (l *Log) rotateLocked() error {
+	if err := l.cur.Close(); err != nil {
+		return fmt.Errorf("wal: close segment %d: %w", l.curIndex, err)
+	}
+	l.cur = nil
+	if err := l.openSegmentLocked(l.curIndex + 1); err != nil {
+		return err
+	}
+	l.rotations.Add(1)
+	return nil
+}
+
+// openSegmentLocked creates segment idx and makes its header — and its
+// directory entry — durable before any frame can land in it, so a
+// segment that exists at recovery time always starts with a parseable
+// header unless the crash tore the header write itself (a torn tail in
+// the final segment, which the parser tolerates).
+func (l *Log) openSegmentLocked(idx uint64) error {
+	p := path.Join(l.cfg.Dir, segName(idx))
+	f, err := l.cfg.FS.Create(p)
+	if err != nil {
+		return fmt.Errorf("wal: create %s: %w", p, err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write header %s: %w", p, err)
+	}
+	l.syncs.Add(1)
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: fsync header %s: %w", p, err)
+	}
+	if err := l.cfg.FS.SyncDir(l.cfg.Dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: fsync dir %s: %w", l.cfg.Dir, err)
+	}
+	l.cur = f
+	l.curIndex = idx
+	l.curSize = int64(len(segMagic))
+	return nil
+}
+
+func segName(idx uint64) string { return fmt.Sprintf("wal-%020d.seg", idx) }
+
+func parseSegName(name string) (uint64, bool) {
+	return parseIndexedName(name, "wal-", ".seg")
+}
+
+func parseIndexedName(name, prefix, suffix string) (uint64, bool) {
+	if len(name) != len(prefix)+20+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return 0, false
+	}
+	idx, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return idx, true
+}

@@ -1,0 +1,111 @@
+package wal
+
+import (
+	"fmt"
+	"path"
+	"sort"
+
+	"tinystm/internal/txn"
+)
+
+// ReplayStats describes what recovery found and how it was handled.
+type ReplayStats struct {
+	// CheckpointFound reports whether a valid checkpoint seeded the
+	// state; CheckpointIndex and CheckpointPairs describe it.
+	CheckpointFound bool
+	CheckpointIndex uint64
+	CheckpointPairs int
+	// CheckpointsSkipped counts corrupt checkpoint files passed over on
+	// the way to a valid one — always zero in a healthy deployment.
+	CheckpointsSkipped int
+	// Segments, Records and Ops count what was replayed on top of the
+	// checkpoint.
+	Segments int
+	Records  int
+	Ops      int
+	// TornBytes is the length of the unparseable tail dropped from the
+	// final segment — the bytes a crash caught between write and fsync.
+	// Only ever non-zero for the final segment; damage anywhere else
+	// fails Replay with a CorruptError instead.
+	TornBytes int
+	// MaxCheckpointIndex is the highest checkpoint index present on disk
+	// (valid or not); the next checkpoint must be numbered above it.
+	MaxCheckpointIndex uint64
+}
+
+// Replay reconstructs the key/value state from dir: newest valid
+// checkpoint, then every segment in index order, records front to back,
+// last write per key wins. That fold needs no (epoch, ts) reasoning
+// because truncation only ever removes a prefix of segments — see the
+// package comment. Returns the final state, what happened, and a
+// non-nil error only for unreadable data that acked writes may be
+// behind (mid-log corruption, I/O errors): the caller must fail loudly,
+// not serve a hole.
+//
+// A missing or empty dir is a fresh boot: empty state, zero stats.
+func Replay(fs FS, dir string) (map[uint64]uint64, ReplayStats, error) {
+	if fs == nil {
+		fs = OS
+	}
+	var stats ReplayStats
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, stats, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, stats, fmt.Errorf("wal: scan %s: %w", dir, err)
+	}
+
+	for _, name := range names {
+		if i, ok := parseCkptName(name); ok && i > stats.MaxCheckpointIndex {
+			stats.MaxCheckpointIndex = i
+		}
+	}
+	state, ckptIdx, skipped, found := latestCheckpoint(fs, dir, names)
+	stats.CheckpointsSkipped = skipped
+	if found {
+		stats.CheckpointFound = true
+		stats.CheckpointIndex = ckptIdx
+		stats.CheckpointPairs = len(state)
+	} else {
+		state = make(map[uint64]uint64)
+	}
+
+	var segs []uint64
+	for _, name := range names {
+		if i, ok := parseSegName(name); ok {
+			segs = append(segs, i)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+
+	for n, idx := range segs {
+		p := path.Join(dir, segName(idx))
+		data, err := fs.ReadFile(p)
+		if err != nil {
+			return nil, stats, fmt.Errorf("wal: read %s: %w", p, err)
+		}
+		last := n == len(segs)-1
+		recs, torn, err := parseSegment(p, data, last)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Segments++
+		stats.TornBytes += torn
+		stats.Records += len(recs)
+		for i := range recs {
+			for _, op := range recs[i].Ops {
+				stats.Ops++
+				switch op.Kind {
+				case txn.RedoPut:
+					state[op.Key] = op.Val
+				case txn.RedoDelete:
+					delete(state, op.Key)
+				default:
+					return nil, stats, &CorruptError{Path: p, Reason: fmt.Sprintf("unknown redo op kind %d", op.Kind)}
+				}
+			}
+		}
+	}
+	return state, stats, nil
+}
