@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test lint lint-negative race bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint runs the exact script CI runs: gofmt, go vet, stmlint, and
+# staticcheck when installed.
+lint:
+	./scripts/lint.sh
+
+# lint-negative proves the stmlint gate rejects an injected violation.
+lint-negative:
+	./scripts/stmlint_negative.sh
+
+race:
+	$(GO) test -race -short ./internal/core/... ./internal/cm/... \
+		./internal/tuning/... ./internal/kvstore/... ./internal/kvserver/... \
+		./internal/mvcc/... ./internal/reclaim/... ./internal/wal/... \
+		./internal/analysis/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -count=1 -run '^$$' \
+		./internal/microbench ./internal/core ./internal/tl2 .

@@ -114,6 +114,7 @@ func main() {
 		phase2 = mixConsts{zipf: rng.NewZipf(*keys, *theta2), readPct: *readPct2,
 			casPct: *casPct, batch: *batchPct, bsize: *bsize}
 	}
+	//stm:allow-atomic client-side phase flip; the loadgen process runs no STM
 	var phase atomic.Pointer[mixConsts]
 	phase.Store(&phase1)
 	if *shift {
@@ -151,6 +152,8 @@ func main() {
 
 // retries counts request attempts that failed retryably and were retried
 // — the measure of how much of a server restart the run rode through.
+//
+//stm:allow-atomic client-side counter shared by request goroutines; no STM here
 var retries atomic.Uint64
 
 // statusError is a non-2xx HTTP response, kept typed so the retry policy

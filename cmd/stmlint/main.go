@@ -1,0 +1,120 @@
+// Command stmlint runs the STM invariant analyzers over Go packages.
+//
+//	go run ./cmd/stmlint ./...          # whole tree
+//	go run ./cmd/stmlint -run txbody ./internal/kvstore
+//	go run ./cmd/stmlint -list          # describe the analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 load or internal errors. Findings
+// are suppressed by an //stm:allow-<marker> annotation on (or directly
+// above) the offending line; a stale annotation is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tinystm/internal/analysis/framework"
+	"tinystm/internal/analysis/stmlint"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	var (
+		list    = flag.Bool("list", false, "describe the registered analyzers and exit")
+		run     = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		noTests = flag.Bool("notests", false, "exclude _test.go files and external test packages")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: stmlint [-list] [-run a,b] [-notests] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := stmlint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s //stm:allow-%-10s %s\n", a.Name, a.Marker, a.Doc)
+		}
+		return 0
+	}
+	if *run != "" {
+		var picked []*framework.Analyzer
+		for _, name := range strings.Split(*run, ",") {
+			a := stmlint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "stmlint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmlint:", err)
+		return 2
+	}
+	loader := framework.NewLoader(wd)
+	loader.IncludeTests = !*noTests
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmlint:", err)
+		return 2
+	}
+
+	var findings []framework.Finding
+	loadErrors := 0
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			// A package that does not type-check cannot be analyzed
+			// soundly; surface the first error and fail hard.
+			fmt.Fprintf(os.Stderr, "stmlint: %s: %v\n", pkg.PkgPath, pkg.TypeErrors[0])
+			loadErrors++
+			continue
+		}
+		fs, err := framework.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stmlint: %s: %v\n", pkg.PkgPath, err)
+			loadErrors++
+			continue
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, f := range findings {
+		pos := f.Position
+		if rel, err := filepath.Rel(wd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", pos.Filename, pos.Line, pos.Column, f.Message, f.Analyzer)
+	}
+	switch {
+	case loadErrors > 0:
+		return 2
+	case len(findings) > 0:
+		return 1
+	}
+	return 0
+}

@@ -37,6 +37,7 @@ func run(design core.Design) {
 	tm := core.MustNew(core.Config{Space: space, Locks: 1 << 10, Design: design})
 
 	setup := tm.NewTx()
+	defer setup.Release()
 	var base uint64
 	tm.Atomic(setup, func(tx *core.Tx) {
 		base = tx.Alloc(accounts)
@@ -57,6 +58,7 @@ func run(design core.Design) {
 			defer wg.Done()
 			r := rng.NewThread(2024, id)
 			tx := tm.NewTx()
+			defer tx.Release()
 			for {
 				select {
 				case <-stop:
@@ -82,6 +84,7 @@ func run(design core.Design) {
 	go func() {
 		defer wg.Done()
 		tx := tm.NewTx()
+		defer tx.Release()
 		for {
 			select {
 			case <-stop:

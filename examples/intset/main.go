@@ -29,6 +29,7 @@ func main() {
 	tm := core.MustNew(core.Config{Space: space, Locks: 1 << 12, Hier: 16})
 
 	setup := tm.NewTx()
+	defer setup.Release()
 	var listHead, treeRoot, skipHead, hashHandle uint64
 	tm.Atomic(setup, func(tx *core.Tx) {
 		listHead = intset.NewList(tx)
@@ -46,6 +47,7 @@ func main() {
 			defer wg.Done()
 			r := rng.NewThread(99, id)
 			tx := tm.NewTx()
+			defer tx.Release()
 			for i := 0; i < opsPerWorker; i++ {
 				v := uint64(r.Intn(valueRange)) + 1
 				insert := r.Intn(2) == 0
@@ -67,20 +69,25 @@ func main() {
 	}
 	wg.Wait()
 
+	// The verification body only collects results; printing and panicking
+	// happen after the commit, since a body re-executes on abort.
+	var l, t, s, h int
+	var treeErr error
 	tm.Atomic(setup, func(tx *core.Tx) {
-		l := intset.ListSize(tx, listHead)
-		t := intset.TreeSize(tx, treeRoot)
-		s := intset.SkipSize(tx, skipHead)
-		h := intset.HashSize(tx, hashHandle)
-		fmt.Printf("sizes: list=%d rbtree=%d skiplist=%d hashset=%d\n", l, t, s, h)
-		if l != t || t != s || s != h {
-			panic("structures diverged")
-		}
-		if err := intset.TreeValidate(tx, treeRoot); err != nil {
-			panic(err)
-		}
-		fmt.Println("all four structures agree; red-black invariants hold")
+		l = intset.ListSize(tx, listHead)
+		t = intset.TreeSize(tx, treeRoot)
+		s = intset.SkipSize(tx, skipHead)
+		h = intset.HashSize(tx, hashHandle)
+		treeErr = intset.TreeValidate(tx, treeRoot)
 	})
+	fmt.Printf("sizes: list=%d rbtree=%d skiplist=%d hashset=%d\n", l, t, s, h)
+	if l != t || t != s || s != h {
+		panic("structures diverged")
+	}
+	if treeErr != nil {
+		panic(treeErr)
+	}
+	fmt.Println("all four structures agree; red-black invariants hold")
 
 	st := tm.Stats()
 	fmt.Printf("commits=%d aborts=%d (%.1f%% abort rate)\n",

@@ -24,8 +24,10 @@ func main() {
 		Design: core.WriteBack, // or core.WriteThrough
 	})
 
-	// Each goroutine gets one descriptor, reused across transactions.
+	// Each goroutine gets one descriptor, reused across transactions, and
+	// releases it when done so the TM slot can be recycled.
 	tx := tm.NewTx()
+	defer tx.Release()
 
 	// Allocate two "accounts" and a counter transactionally.
 	var alice, bob, counter uint64
@@ -45,12 +47,14 @@ func main() {
 		tx.Store(counter, tx.Load(counter)+1)
 	})
 
-	// Read-only transactions skip read-set bookkeeping entirely.
+	// Read-only transactions skip read-set bookkeeping entirely. The body
+	// only copies values out; printing happens after the commit, because a
+	// body re-executes on abort and would print once per attempt.
+	var a, b, transfers uint64
 	tm.AtomicRO(tx, func(tx *core.Tx) {
-		fmt.Printf("alice=%d bob=%d (total %d), transfers=%d\n",
-			tx.Load(alice), tx.Load(bob),
-			tx.Load(alice)+tx.Load(bob), tx.Load(counter))
+		a, b, transfers = tx.Load(alice), tx.Load(bob), tx.Load(counter)
 	})
+	fmt.Printf("alice=%d bob=%d (total %d), transfers=%d\n", a, b, a+b, transfers)
 
 	s := tm.Stats()
 	fmt.Printf("commits=%d aborts=%d params=%v\n", s.Commits, s.Aborts, tm.Params())

@@ -1,3 +1,11 @@
 module tinystm
 
 go 1.24
+
+// No requirements — deliberately. The stmlint analyzers under
+// internal/analysis would normally build on golang.org/x/tools/go/analysis
+// (pinned), but this repository is developed and built offline with no
+// module proxy, so internal/analysis/framework re-implements the minimal
+// Analyzer/Pass/Diagnostic surface on the standard library (go/ast,
+// go/types, go/importer). If a network-enabled toolchain adopts x/tools
+// later, the analyzers port mechanically: the framework mirrors its API.

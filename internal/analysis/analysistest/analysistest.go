@@ -1,0 +1,179 @@
+// Package analysistest runs one analyzer over a self-contained testdata
+// source tree and checks its diagnostics against // want annotations,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A test package lives under <testdata>/src/<path>/ and is type-checked
+// with the loader's stub resolution: imports resolve against sibling
+// directories under src/ first, then the real module and standard
+// library. Expectations are trailing comments:
+//
+//	mine = append(mine, v) // want `appended to`
+//
+// Each back- or double-quoted string is a regular expression that must
+// match exactly one diagnostic reported on that line AFTER the
+// //stm:allow-* suppression layer ran — so a test can assert both that an
+// annotated line yields nothing and that a stale annotation is reported.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tinystm/internal/analysis/framework"
+)
+
+// Run loads each package path from testdata/src, applies the analyzer and
+// reports any mismatch between diagnostics and // want expectations as
+// test errors.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	// The loader's Dir anchors `go list` for stdlib/module imports the
+	// stubs may pull in; the test's working directory (the analyzer
+	// package) is inside the module, testdata/ itself is not.
+	loader := framework.NewLoader(".")
+	loader.StubRoot = testdata + "/src"
+	for _, path := range pkgs {
+		pkg, err := loader.LoadStub(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("package %s does not type-check: %v", path, pkg.TypeErrors[0])
+		}
+		findings, err := framework.RunAnalyzers(pkg, []*framework.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, path, err)
+		}
+		check(t, pkg, findings)
+	}
+}
+
+// expectation is one `// want` regexp and whether a finding consumed it.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	used bool
+}
+
+func check(t *testing.T, pkg *framework.Package, findings []framework.Finding) {
+	t.Helper()
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				for _, raw := range parseWant(t, pos.String(), c.Text) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+						return
+					}
+					expects = append(expects, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: raw,
+					})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		matched := false
+		for _, e := range expects {
+			if e.used || e.file != f.Position.Filename || e.line != f.Position.Line {
+				continue
+			}
+			if e.re.MatchString(f.Message) {
+				e.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, e := range expects {
+		if !e.used {
+			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// parseWant extracts the quoted regexp strings from a comment containing
+// a `want` marker; it returns nil for ordinary comments.
+func parseWant(t *testing.T, pos, text string) []string {
+	i := wantIndex(text)
+	if i < 0 {
+		return nil
+	}
+	rest := strings.TrimSpace(text[i+len("want"):])
+	var out []string
+	for rest != "" {
+		switch rest[0] {
+		case '`':
+			j := strings.IndexByte(rest[1:], '`')
+			if j < 0 {
+				t.Fatalf("%s: unterminated ` in want comment", pos)
+				return nil
+			}
+			out = append(out, rest[1:1+j])
+			rest = strings.TrimSpace(rest[j+2:])
+		case '"':
+			s, tail, err := unquotePrefix(rest)
+			if err != nil {
+				t.Fatalf("%s: bad quoted want pattern: %v", pos, err)
+				return nil
+			}
+			out = append(out, s)
+			rest = strings.TrimSpace(tail)
+		default:
+			t.Fatalf("%s: want expects quoted patterns, found %q", pos, rest)
+			return nil
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no patterns", pos)
+	}
+	return out
+}
+
+// wantIndex finds the `want` keyword introducing expectations in a
+// comment, requiring a word boundary so prose mentioning "want" in the
+// middle of a sentence is not misparsed (the keyword must be followed by
+// a quoted pattern).
+func wantIndex(text string) int {
+	for i := 0; i+4 <= len(text); i++ {
+		if text[i:i+4] != "want" {
+			continue
+		}
+		if i > 0 {
+			if b := text[i-1]; b != ' ' && b != '\t' && b != '/' {
+				continue
+			}
+		}
+		rest := strings.TrimSpace(text[i+4:])
+		if rest != "" && (rest[0] == '"' || rest[0] == '`') {
+			return i
+		}
+	}
+	return -1
+}
+
+// unquotePrefix unquotes the leading double-quoted Go string of s and
+// returns it with the remainder.
+func unquotePrefix(s string) (string, string, error) {
+	for j := 1; j < len(s); j++ {
+		if s[j] == '"' && s[j-1] != '\\' {
+			v, err := strconv.Unquote(s[:j+1])
+			if err != nil {
+				return "", "", fmt.Errorf("unquote %s: %w", s[:j+1], err)
+			}
+			return v, s[j+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string in want comment: %s", s)
+}

@@ -1,0 +1,260 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis driver surface: Analyzer, Pass, Diagnostic,
+// a package loader and an annotation (suppression) layer.
+//
+// Why not x/tools itself? The repo builds hermetically from the Go
+// toolchain alone — no module downloads — and go/analysis is not part of
+// the standard library. The API here mirrors go/analysis closely enough
+// (an Analyzer has a Name, a Doc and a Run(*Pass) function; a Pass carries
+// the fset, the syntax trees and the go/types information of one package)
+// that each analyzer under internal/analysis/ can be ported to a real
+// x/tools multichecker by swapping the import, should the dependency ever
+// be vendored. Type information for dependencies comes from the gc
+// compiler's export data via `go list -export` (see load.go), exactly the
+// mechanism go/packages uses under the hood.
+//
+// # Annotations
+//
+// Every analyzer declares a Marker, e.g. "write" for the rowrite analyzer.
+// A comment of the form
+//
+//	//stm:allow-write — reason the violation is intentional
+//
+// suppresses that analyzer's diagnostics on the annotated line: the
+// comment's own line when code shares it (trailing form), otherwise the
+// next line containing code (comment-only and blank lines are skipped, so
+// several //stm:allow-* markers can stack above one statement). An
+// annotation that suppresses nothing is itself reported as a diagnostic —
+// stale escape hatches must not accumulate.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AllowPrefix is the comment prefix shared by all suppression annotations.
+const AllowPrefix = "stm:allow-"
+
+// An Analyzer describes one static check over a package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is the one-paragraph description printed by `stmlint -list`.
+	Doc string
+	// Marker is the annotation suffix: a diagnostic from this analyzer is
+	// suppressed by a `//stm:allow-<Marker>` comment on its line.
+	Marker string
+	// Run reports diagnostics on the pass via Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass carries the loaded state of one package to an analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	PkgPath   string
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Analyzers whose
+// invariant only concerns long-lived production code (release, rawatomic)
+// use it to skip test files wholesale.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// A Finding is a fully resolved diagnostic: position plus the analyzer
+// that produced it.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer)
+}
+
+// RunAnalyzers runs each analyzer over pkg, applies the //stm:allow-*
+// suppression layer and returns the surviving findings sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			PkgPath:   pkg.PkgPath,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+		for _, d := range applyAllows(pkg, a, pass.diags) {
+			out = append(out, Finding{
+				Analyzer: a.Name,
+				Position: pkg.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// allowComment is one //stm:allow-<marker> annotation and the code line
+// it governs.
+type allowComment struct {
+	pos        token.Pos
+	marker     string
+	file       string
+	targetLine int // 0 when no code line follows the comment
+}
+
+// applyAllows removes diagnostics covered by this analyzer's annotations
+// and appends a stale-annotation diagnostic for every annotation of this
+// analyzer's marker that covered nothing.
+func applyAllows(pkg *Package, a *Analyzer, diags []Diagnostic) []Diagnostic {
+	allows := collectAllows(pkg, a.Marker)
+	if len(allows) == 0 {
+		return diags
+	}
+	used := make([]bool, len(allows))
+	var kept []Diagnostic
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		suppressed := false
+		for i, al := range allows {
+			if al.file == p.Filename && al.targetLine == p.Line {
+				used[i] = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for i, al := range allows {
+		if !used[i] {
+			kept = append(kept, Diagnostic{
+				Pos: al.pos,
+				Message: fmt.Sprintf("stale //%s%s annotation: it suppresses no %s diagnostic (remove it)",
+					AllowPrefix, al.marker, a.Name),
+			})
+		}
+	}
+	return kept
+}
+
+// collectAllows finds this marker's annotations across the package and
+// resolves each to the code line it governs.
+func collectAllows(pkg *Package, marker string) []allowComment {
+	var out []allowComment
+	for _, f := range pkg.Files {
+		codeLines := codeLineSet(pkg.Fset, f)
+		tf := pkg.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := parseAllow(c.Text)
+				if m != marker {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				target := 0
+				if codeLines[p.Line] {
+					target = p.Line // trailing form
+				} else {
+					for ln := p.Line + 1; ln <= tf.LineCount(); ln++ {
+						if codeLines[ln] {
+							target = ln
+							break
+						}
+					}
+				}
+				out = append(out, allowComment{
+					pos:        c.Pos(),
+					marker:     marker,
+					file:       p.Filename,
+					targetLine: target,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// parseAllow extracts the marker name from an //stm:allow-<name> comment,
+// returning "" for any other comment. Anything after the name (a reason,
+// recommended) is ignored.
+func parseAllow(text string) string {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, AllowPrefix) {
+		return ""
+	}
+	rest := text[len(AllowPrefix):]
+	end := 0
+	for end < len(rest) {
+		ch := rest[end]
+		if ch >= 'a' && ch <= 'z' || ch == '-' {
+			end++
+			continue
+		}
+		break
+	}
+	return rest[:end]
+}
+
+// codeLineSet returns the set of lines in f that contain code tokens
+// (comments excluded).
+func codeLineSet(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		case *ast.File:
+			return true
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		lines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
+}

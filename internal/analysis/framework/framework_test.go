@@ -1,0 +1,106 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// allowSrc exercises the three annotation placements: own-line targeting
+// the next code line, stacked markers (the second comment line is not
+// code, so both target the same statement), and the trailing form.
+const allowSrc = `package p
+
+func f() {
+	x := 1
+	//stm:allow-effect reason one
+	//stm:allow-write reason two
+	x = 2
+	x = 3 //stm:allow-effect trailing form
+	_ = x
+}
+`
+
+func parseAllowSrc(t *testing.T) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{Fset: fset, Files: []*ast.File{f}}
+}
+
+func lineStart(t *testing.T, pkg *Package, line int) token.Pos {
+	t.Helper()
+	return pkg.Fset.File(pkg.Files[0].Pos()).LineStart(line)
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text, want string
+	}{
+		{"//stm:allow-write reason", "write"},
+		{"// stm:allow-effect", "effect"},
+		{"//stm:allow-unreleased: with punctuation", "unreleased"},
+		{"//stm:allowwrite missing dash", ""},
+		{"// just prose about stm:allow-write", ""},
+		{"//stm:allow-", ""},
+	}
+	for _, c := range cases {
+		if got := parseAllow(c.text); got != c.want {
+			t.Errorf("parseAllow(%q) = %q, want %q", c.text, got, c.want)
+		}
+	}
+}
+
+func TestCollectAllowsTargeting(t *testing.T) {
+	pkg := parseAllowSrc(t)
+
+	effect := collectAllows(pkg, "effect")
+	if len(effect) != 2 {
+		t.Fatalf("effect allows = %d, want 2", len(effect))
+	}
+	// The own-line marker skips the stacked //stm:allow-write comment
+	// line and lands on the statement both markers cover.
+	if effect[0].targetLine != 7 {
+		t.Errorf("stacked own-line marker targets line %d, want 7", effect[0].targetLine)
+	}
+	if effect[1].targetLine != 8 {
+		t.Errorf("trailing marker targets line %d, want 8 (its own line)", effect[1].targetLine)
+	}
+
+	write := collectAllows(pkg, "write")
+	if len(write) != 1 || write[0].targetLine != 7 {
+		t.Fatalf("write allows = %+v, want one targeting line 7", write)
+	}
+}
+
+func TestApplyAllowsSuppressionAndStale(t *testing.T) {
+	pkg := parseAllowSrc(t)
+	a := &Analyzer{Name: "txbody", Marker: "effect"}
+
+	diags := []Diagnostic{
+		{Pos: lineStart(t, pkg, 7), Message: "covered by the stacked marker"},
+		{Pos: lineStart(t, pkg, 8), Message: "covered by the trailing marker"},
+		{Pos: lineStart(t, pkg, 4), Message: "not annotated"},
+	}
+	kept := applyAllows(pkg, a, diags)
+	if len(kept) != 1 || kept[0].Message != "not annotated" {
+		t.Fatalf("kept = %+v, want only the unannotated diagnostic", kept)
+	}
+
+	// With nothing to suppress, both effect markers must be reported
+	// stale; the write marker belongs to another analyzer and is not.
+	stale := applyAllows(pkg, a, nil)
+	if len(stale) != 2 {
+		t.Fatalf("stale diagnostics = %d, want 2", len(stale))
+	}
+	for _, d := range stale {
+		if !strings.Contains(d.Message, "stale //stm:allow-effect annotation") {
+			t.Errorf("unexpected stale message %q", d.Message)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package rawatomic_test
+
+import (
+	"testing"
+
+	"tinystm/internal/analysis/analysistest"
+	"tinystm/internal/analysis/rawatomic"
+)
+
+func TestRawAtomic(t *testing.T) {
+	analysistest.Run(t, "testdata", rawatomic.Analyzer, "app", "core")
+}

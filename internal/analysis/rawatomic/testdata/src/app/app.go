@@ -1,0 +1,37 @@
+// Package app is NOT an allowlisted STM implementation layer, so raw
+// synchronization primitives are flagged here.
+package app
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type widget struct {
+	mu sync.Mutex    // want `sync.Mutex field in package "app"`
+	n  atomic.Uint64 // want `atomic.Uint64 field in package "app"`
+}
+
+type guarded struct {
+	rw *sync.RWMutex // want `sync.RWMutex field in package "app"`
+}
+
+var ready atomic.Bool // want `atomic.Bool variable in package "app"`
+
+var counter uint64
+
+func bump() uint64 {
+	return atomic.AddUint64(&counter, 1) // want `call to atomic.AddUint64 in package "app"`
+}
+
+//stm:allow-atomic control-plane flag; this state is outside transactional control
+var stop atomic.Bool
+
+//stm:allow-atomic covers only the next declaration // want `stale //stm:allow-atomic annotation`
+var plain int
+
+func use(w *widget, g *guarded) (uint64, bool, int) {
+	_ = w
+	_ = g
+	return bump(), ready.Load() || stop.Load(), plain
+}

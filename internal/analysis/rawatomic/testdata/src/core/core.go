@@ -1,0 +1,24 @@
+// Package core carries the name of an allowlisted STM implementation
+// layer: raw synchronization is this layer's job, so nothing here is
+// flagged.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type lockTable struct {
+	mu    sync.Mutex
+	clock atomic.Uint64
+}
+
+func (t *lockTable) tick() uint64 {
+	return t.clock.Add(1)
+}
+
+func (t *lockTable) withLock(fn func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fn()
+}

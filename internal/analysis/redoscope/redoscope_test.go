@@ -1,0 +1,12 @@
+package redoscope_test
+
+import (
+	"testing"
+
+	"tinystm/internal/analysis/analysistest"
+	"tinystm/internal/analysis/redoscope"
+)
+
+func TestRedoScope(t *testing.T) {
+	analysistest.Run(t, "testdata", redoscope.Analyzer, "a", "allow")
+}

@@ -1,0 +1,18 @@
+// Package allow exercises //stm:allow-redo suppression and stale
+// annotation detection for the redoscope analyzer.
+package allow
+
+import "stm"
+
+func guardedSharedBody(tm *stm.TM, tx *stm.Tx) {
+	body := func(tx *stm.Tx) {
+		tx.Redo(stm.RedoOp{Key: 1})
+	}
+	//stm:allow-redo shared batch body; the all-read guard never reaches Redo here
+	tm.AtomicRO(tx, body)
+}
+
+func stale(tm *stm.TM, tx *stm.Tx) {
+	//stm:allow-redo nothing below records redo // want `stale //stm:allow-redo annotation`
+	tm.AtomicRO(tx, func(tx *stm.Tx) { _ = tx.Load(1) })
+}

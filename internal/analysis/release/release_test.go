@@ -1,0 +1,12 @@
+package release_test
+
+import (
+	"testing"
+
+	"tinystm/internal/analysis/analysistest"
+	"tinystm/internal/analysis/release"
+)
+
+func TestRelease(t *testing.T) {
+	analysistest.Run(t, "testdata", release.Analyzer, "a", "allow")
+}

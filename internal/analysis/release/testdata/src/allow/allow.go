@@ -1,0 +1,17 @@
+// Package allow exercises //stm:allow-unreleased suppression and stale
+// annotation detection for the release analyzer.
+package allow
+
+import "stm"
+
+func processLifetime(tm *stm.TM) {
+	//stm:allow-unreleased deliberate: parked for the process lifetime
+	tx := tm.NewTx()
+	tm.Atomic(tx, func(tx *stm.Tx) { tx.Store(1, 2) })
+}
+
+func stale(tm *stm.TM) {
+	//stm:allow-unreleased nothing leaks below // want `stale //stm:allow-unreleased annotation`
+	tx := tm.NewTx()
+	defer tx.Release()
+}

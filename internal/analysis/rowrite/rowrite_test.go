@@ -1,0 +1,12 @@
+package rowrite_test
+
+import (
+	"testing"
+
+	"tinystm/internal/analysis/analysistest"
+	"tinystm/internal/analysis/rowrite"
+)
+
+func TestRoWrite(t *testing.T) {
+	analysistest.Run(t, "testdata", rowrite.Analyzer, "a", "allow")
+}

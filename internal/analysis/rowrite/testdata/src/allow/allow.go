@@ -1,0 +1,34 @@
+// Package allow exercises //stm:allow-write suppression and stale
+// annotation detection for the rowrite analyzer.
+package allow
+
+import "stm"
+
+func upgradeOnWrite(tm *stm.TM) {
+	tx := tm.NewTx()
+	defer tx.Release()
+	tm.AtomicRO(tx, func(tx *stm.Tx) {
+		v := tx.Load(1)
+		//stm:allow-write deliberate: triggers the RO->update upgrade path
+		tx.Store(1, v+1)
+	})
+}
+
+func suppressesOnlyTheNextLine(tm *stm.TM, m *stm.Map) {
+	tx := tm.NewTx()
+	defer tx.Release()
+	tm.AtomicRO(tx, func(tx *stm.Tx) {
+		//stm:allow-write covers the Put only
+		m.Put(tx, 1, 2)
+		m.Delete(tx, 3) // want `Delete inside AtomicRO body`
+	})
+}
+
+func stale(tm *stm.TM) {
+	tx := tm.NewTx()
+	defer tx.Release()
+	tm.AtomicRO(tx, func(tx *stm.Tx) {
+		//stm:allow-write nothing below writes // want `stale //stm:allow-write annotation`
+		_ = tx.Load(1)
+	})
+}

@@ -1,0 +1,34 @@
+// Package stmlint registers the full suite of STM invariant analyzers.
+// cmd/stmlint runs them as a multichecker; the analysistest harness runs
+// them one at a time over testdata trees.
+package stmlint
+
+import (
+	"tinystm/internal/analysis/framework"
+	"tinystm/internal/analysis/rawatomic"
+	"tinystm/internal/analysis/redoscope"
+	"tinystm/internal/analysis/release"
+	"tinystm/internal/analysis/rowrite"
+	"tinystm/internal/analysis/txbody"
+)
+
+// All returns every registered analyzer, in reporting order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		txbody.Analyzer,
+		rowrite.Analyzer,
+		release.Analyzer,
+		redoscope.Analyzer,
+		rawatomic.Analyzer,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *framework.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+// Package allow exercises //stm:allow-effect: a marker suppresses the
+// diagnostic on the next code line only, and an unused marker is itself
+// reported as stale.
+package allow
+
+import "stm"
+
+func suppressed(tm *stm.TM) int {
+	tx := tm.NewTx()
+	defer tx.Release()
+	runs := 0
+	tm.Atomic(tx, func(tx *stm.Tx) {
+		//stm:allow-effect deliberate retry counter for the test
+		runs++
+		_ = tx.Load(1)
+	})
+	return runs
+}
+
+func suppressesOnlyTheNextLine(tm *stm.TM) (int, int) {
+	tx := tm.NewTx()
+	defer tx.Release()
+	a, b := 0, 0
+	tm.Atomic(tx, func(tx *stm.Tx) {
+		//stm:allow-effect covers a only, not b
+		a++
+		b++ // want `captured variable "b" mutated non-idempotently inside Atomic body`
+	})
+	return a, b
+}
+
+func stale(tm *stm.TM) {
+	tx := tm.NewTx()
+	defer tx.Release()
+	tm.Atomic(tx, func(tx *stm.Tx) {
+		//stm:allow-effect nothing here violates anything // want `stale //stm:allow-effect annotation`
+		_ = tx.Load(1)
+	})
+}

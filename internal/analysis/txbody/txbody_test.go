@@ -1,0 +1,12 @@
+package txbody_test
+
+import (
+	"testing"
+
+	"tinystm/internal/analysis/analysistest"
+	"tinystm/internal/analysis/txbody"
+)
+
+func TestTxBody(t *testing.T) {
+	analysistest.Run(t, "testdata", txbody.Analyzer, "a", "allow")
+}

@@ -134,7 +134,9 @@ func TestReadOnlyFreeUpgrades(t *testing.T) {
 	tm.Atomic(tx, func(tx *Tx) { a = tx.Alloc(2) })
 	runs := 0
 	tm.AtomicRO(tx, func(tx *Tx) {
+		//stm:allow-effect deliberate retry counter: the test asserts the upgrade re-runs the body
 		runs++
+		//stm:allow-write deliberate: Free in an RO body is exactly the upgrade under test
 		tx.Free(a, 2)
 	})
 	if runs != 2 {

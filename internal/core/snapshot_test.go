@@ -170,6 +170,7 @@ func TestSnapshotUpgradeOnWrite(t *testing.T) {
 	tm.Atomic(tx, func(tx *Tx) { a = tx.Alloc(1); tx.Store(a, 5) })
 	tm.AtomicSnap(tx, func(tx *Tx) {
 		v := tx.Load(a)
+		//stm:allow-write deliberate: the write IS the snapshot-upgrade under test
 		tx.Store(a, v+1) // snapshot mode cannot write: upgrade
 	})
 	var got uint64

@@ -110,13 +110,18 @@ func TestConcurrentAllocFree(t *testing.T) {
 				tx := tm.NewTx()
 				var mine []uint64
 				for i := 0; i < 200; i++ {
+					// Record the committed address only after Atomic
+					// returns: an aborted attempt rolls its Alloc back,
+					// and appending inside the body would keep the dead
+					// address and later Free an uncommitted block.
+					var a uint64
 					tm.Atomic(tx, func(tx *Tx) {
-						a := tx.Alloc(3)
+						a = tx.Alloc(3)
 						tx.Store(a, uint64(id))
 						tx.Store(a+1, uint64(i))
 						tx.Store(a+2, uint64(id*i))
-						mine = append(mine, a)
 					})
+					mine = append(mine, a)
 					if len(mine) > 8 {
 						victim := mine[0]
 						mine = mine[1:]

@@ -276,6 +276,7 @@ func TestAtomicRetriesOnConflict(t *testing.T) {
 		done := make(chan struct{})
 		go func() {
 			tm.Atomic(t1, func(tx *Tx) {
+				//stm:allow-effect deliberate attempt counter: the test measures conflict retries
 				tries++
 				tx.Store(a, tx.Load(a)+1)
 			})
@@ -308,11 +309,13 @@ func TestReadOnlyUpgrades(t *testing.T) {
 	tm.Atomic(tx, func(tx *Tx) { a = tx.Alloc(1); tx.Store(a, 3) })
 	runs := 0
 	tm.AtomicRO(tx, func(tx *Tx) {
+		//stm:allow-effect deliberate retry counter: the test asserts the upgrade re-runs the body
 		runs++
 		if runs == 1 && !tx.ReadOnly() {
 			t.Error("first attempt should be read-only")
 		}
 		v := tx.Load(a)
+		//stm:allow-write deliberate: the write IS the upgrade under test
 		tx.Store(a, v+1) // forces upgrade
 	})
 	if runs != 2 {
@@ -364,6 +367,7 @@ func TestFlatNesting(t *testing.T) {
 	tm.Atomic(tx, func(outer *Tx) {
 		a = outer.Alloc(1)
 		outer.Store(a, 1)
+		//stm:allow-effect deliberate: flat nesting (inner block merges into the outer) is under test
 		tm.Atomic(tx, func(inner *Tx) {
 			inner.Store(a, inner.Load(a)+1)
 		})
@@ -414,6 +418,7 @@ func TestExplicitRetry(t *testing.T) {
 	tm.Atomic(tx, func(tx *Tx) { a = tx.Alloc(1) })
 	runs := 0
 	tm.Atomic(tx, func(tx *Tx) {
+		//stm:allow-effect deliberate retry counter: the test asserts Retry re-runs the body
 		runs++
 		if runs < 3 {
 			tx.Retry()

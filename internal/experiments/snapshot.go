@@ -123,8 +123,10 @@ func runSnapshotPoint(sc Scale, cfg SnapshotConfig, writers int, snapshots bool,
 	kvstore.Preload[*core.Tx](tm, m, cfg.Keys, 1)
 	zipf := rng.NewZipf(cfg.Keys, cfg.Theta)
 
+	//stm:allow-atomic experiment control plane: stop flag, not data under test
 	var stop atomic.Bool
 	var wg sync.WaitGroup
+	//stm:allow-atomic per-worker commit tally aggregated outside any transaction
 	var writerCommits atomic.Uint64
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
@@ -146,6 +148,7 @@ func runSnapshotPoint(sc Scale, cfg SnapshotConfig, writers int, snapshots bool,
 		}(w)
 	}
 
+	//stm:allow-atomic measurement counters aggregated outside any transaction
 	var scans, keysRead, tooOld, roAborts, allAborts atomic.Uint64
 	for s := 0; s < cfg.Scanners; s++ {
 		wg.Add(1)

@@ -70,8 +70,11 @@ func (b Bench[T]) Run() Result {
 		panic("harness: Op is required")
 	}
 
+	//stm:allow-atomic harness control plane: stop signal for workers
 	var stop atomic.Bool
+	//stm:allow-atomic harness control plane: measurement-window gate
 	var measuring atomic.Bool
+	//stm:allow-atomic throughput tally read after workers join
 	var opsMeasured atomic.Uint64
 
 	var wg sync.WaitGroup

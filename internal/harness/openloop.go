@@ -86,6 +86,7 @@ func (o OpenLoop) Run() OpenLoopResult {
 
 	arrivals := make(chan time.Time, queue)
 	var res OpenLoopResult
+	//stm:allow-atomic merges per-worker measurement slices; not STM-managed state
 	var mu sync.Mutex // guards the merged latency slice and error count
 	var lats []time.Duration
 

@@ -13,6 +13,7 @@ import (
 // working-set size changes the workload's optimal STM configuration, which
 // is exactly what an online tuner must re-adapt to.
 type PhasedOp[T txn.Tx] struct {
+	//stm:allow-atomic workload phase selector flipped by the driver mid-run
 	phase atomic.Int32
 	ops   []OpFunc[T]
 }

@@ -14,6 +14,7 @@ import (
 // dynamic-tuning experiments need: the tuner reconfigures the TM while the
 // workload keeps running).
 type Workers struct {
+	//stm:allow-atomic pool stop signal; coordinates goroutines, not STM data
 	stop atomic.Bool
 	wg   sync.WaitGroup
 }

@@ -136,6 +136,7 @@ func TestTreeInvariantsAfterRandomOps(t *testing.T) {
 		if i%50 == 0 {
 			tm.Atomic(tx, func(tx *core.Tx) {
 				if err := intset.TreeValidate(tx, root); err != nil {
+					//stm:allow-effect test-only: a failed assertion ends the test, and the throwaway TM dies with it
 					t.Fatalf("op %d: %v", i, err)
 				}
 			})
@@ -144,18 +145,22 @@ func TestTreeInvariantsAfterRandomOps(t *testing.T) {
 	// Final full comparison including stored values.
 	tm.Atomic(tx, func(tx *core.Tx) {
 		if err := intset.TreeValidate(tx, root); err != nil {
+			//stm:allow-effect test-only: a failed assertion ends the test, and the throwaway TM dies with it
 			t.Fatal(err)
 		}
 		keys := intset.TreeSnapshot(tx, root)
 		if len(keys) != len(ref) {
+			//stm:allow-effect test-only: a failed assertion ends the test, and the throwaway TM dies with it
 			t.Fatalf("size %d, want %d", len(keys), len(ref))
 		}
 		for _, k := range keys {
 			if !ref[k] {
+				//stm:allow-effect test-only: a failed assertion ends the test, and the throwaway TM dies with it
 				t.Fatalf("unexpected key %d", k)
 			}
 			v, ok := intset.TreeLookup(tx, root, k)
 			if !ok || v != k*2 {
+				//stm:allow-effect test-only: a failed assertion ends the test, and the throwaway TM dies with it
 				t.Fatalf("lookup %d = (%d,%v), want (%d,true)", k, v, ok, k*2)
 			}
 		}
@@ -337,6 +342,7 @@ func TestConcurrentTreeKeepsInvariants(t *testing.T) {
 	wg.Wait()
 	tm.Atomic(setup, func(tx *core.Tx) {
 		if err := intset.TreeValidate(tx, root); err != nil {
+			//stm:allow-effect test-only: a failed assertion ends the test, and the throwaway TM dies with it
 			t.Fatal(err)
 		}
 	})

@@ -85,6 +85,7 @@ func TestTreeRangeScan(t *testing.T) {
 			return true
 		})
 		if n != 3 || len(keys) != 3 {
+			//stm:allow-effect test-only: a failed assertion ends the test, and the throwaway TM dies with it
 			t.Fatalf("visited %d, want 3", n)
 		}
 		for i, want := range []uint64{20, 30, 40} {

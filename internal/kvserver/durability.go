@@ -73,6 +73,7 @@ type durability struct {
 	fs   wal.FS
 	dir  string
 
+	//stm:allow-atomic WAL recovery state machine; durability I/O is outside the STM
 	state atomic.Int32
 	log   *wal.Log
 
@@ -80,6 +81,7 @@ type durability struct {
 	// stateReady or stateFailed); mu guards the error/stat fields below.
 	recDone chan struct{}
 
+	//stm:allow-atomic guards recovery error/stat fields written by the recovery goroutine
 	mu         sync.Mutex
 	recErr     error
 	recStats   wal.ReplayStats

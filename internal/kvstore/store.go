@@ -328,7 +328,11 @@ func (s *Store[T]) Apply(ops []Op) []OpResult {
 	if readOnly {
 		// All-Get batches take the snapshot fast path when the system
 		// offers it: one consistent timestamp, no validation, no aborts
-		// from concurrent writers.
+		// from concurrent writers. The body is shared with the update
+		// path, so it statically reaches the mutators and redo capture,
+		// but the all-Get guard above makes those arms unreachable here.
+		//stm:allow-write every op is OpGet on this path; the write arms cannot execute
+		//stm:allow-redo every op is OpGet on this path; the redo arms cannot execute
 		s.atomicRO(tx, body)
 		return res
 	}

@@ -21,6 +21,7 @@ import (
 type TxPool[T txn.Tx] struct {
 	sys txn.System[T]
 
+	//stm:allow-atomic guards the descriptor free-list; descriptors live outside transactions
 	mu     sync.Mutex
 	free   []T
 	closed bool

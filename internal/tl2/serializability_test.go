@@ -95,6 +95,7 @@ func TestSerializability(t *testing.T) {
 	tm.Atomic(setup, func(tx *Tx) {
 		for a, v := range state {
 			if got := tx.Load(a); got != v {
+				//stm:allow-effect test-only: a failed assertion ends the test, and the throwaway TM dies with it
 				t.Fatalf("final memory addr %d = %d, replay has %d", a, got, v)
 			}
 		}

@@ -224,7 +224,9 @@ func TestReadOnlyMode(t *testing.T) {
 	// Upgrade on write.
 	runs := 0
 	tm.AtomicRO(tx, func(tx *Tx) {
+		//stm:allow-effect deliberate retry counter: the test asserts the upgrade re-runs the body
 		runs++
+		//stm:allow-write deliberate: the write IS the upgrade under test
 		tx.Store(a, 6)
 	})
 	if runs != 2 {
@@ -237,6 +239,7 @@ func TestFlatNesting(t *testing.T) {
 	tx := tm.NewTx()
 	tm.Atomic(tx, func(outer *Tx) {
 		a := outer.Alloc(1)
+		//stm:allow-effect deliberate: flat nesting (inner block merges into the outer) is under test
 		tm.Atomic(tx, func(inner *Tx) { inner.Store(a, 5) })
 		if got := outer.Load(a); got != 5 {
 			t.Errorf("nested write invisible: %d", got)
@@ -299,6 +302,7 @@ func TestRetry(t *testing.T) {
 	tx := tm.NewTx()
 	runs := 0
 	tm.Atomic(tx, func(tx *Tx) {
+		//stm:allow-effect deliberate retry counter: the test asserts Retry re-runs the body
 		runs++
 		if runs < 3 {
 			tx.Retry()

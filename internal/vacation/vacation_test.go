@@ -28,6 +28,7 @@ func TestSetupConsistent(t *testing.T) {
 	tx := tm.NewTx()
 	tm.Atomic(tx, func(tx *core.Tx) {
 		if err := vacation.CheckConsistency(tx, m); err != nil {
+			//stm:allow-effect test-only: a failed assertion ends the test, and the throwaway TM dies with it
 			t.Fatal(err)
 		}
 		if used := vacation.TotalReserved(tx, m); used != 0 {
@@ -43,11 +44,15 @@ func TestMakeReservationReserves(t *testing.T) {
 	r := rng.New(3)
 	made := 0
 	for i := 0; i < 50; i++ {
+		// Count only after Atomic returns: an aborted attempt would
+		// re-run the body and double-count an increment made inside it.
+		var ok bool
 		tm.Atomic(tx, func(tx *core.Tx) {
-			if vacation.MakeReservation(tx, m, r) {
-				made++
-			}
+			ok = vacation.MakeReservation(tx, m, r)
 		})
+		if ok {
+			made++
+		}
 	}
 	if made == 0 {
 		t.Fatal("no reservation ever made (tables populated, should succeed)")
@@ -62,6 +67,7 @@ func TestMakeReservationReserves(t *testing.T) {
 			t.Errorf("used seats %d != customer info nodes %d", used, infos)
 		}
 		if err := vacation.CheckConsistency(tx, m); err != nil {
+			//stm:allow-effect test-only: a failed assertion ends the test, and the throwaway TM dies with it
 			t.Fatal(err)
 		}
 	})
@@ -79,12 +85,17 @@ func TestDeleteCustomerCancelsAll(t *testing.T) {
 	deleted := 0
 	var billed uint64
 	for i := 0; i < 2000; i++ {
+		// Tally after Atomic returns: increments inside the body would
+		// double-count on abort-and-retry.
+		var bill uint64
+		var ok bool
 		tm.Atomic(tx, func(tx *core.Tx) {
-			if bill, ok := vacation.DeleteCustomer(tx, m, r); ok {
-				deleted++
-				billed += bill
-			}
+			bill, ok = vacation.DeleteCustomer(tx, m, r)
 		})
+		if ok {
+			deleted++
+			billed += bill
+		}
 	}
 	tm.Atomic(tx, func(tx *core.Tx) {
 		if used := vacation.TotalReserved(tx, m); used != 0 && deleted > 0 {
@@ -96,6 +107,7 @@ func TestDeleteCustomerCancelsAll(t *testing.T) {
 			}
 		}
 		if err := vacation.CheckConsistency(tx, m); err != nil {
+			//stm:allow-effect test-only: a failed assertion ends the test, and the throwaway TM dies with it
 			t.Fatal(err)
 		}
 	})
@@ -117,6 +129,7 @@ func TestUpdateTablesKeepsInvariants(t *testing.T) {
 	}
 	tm.Atomic(tx, func(tx *core.Tx) {
 		if err := vacation.CheckConsistency(tx, m); err != nil {
+			//stm:allow-effect test-only: a failed assertion ends the test, and the throwaway TM dies with it
 			t.Fatal(err)
 		}
 	})
@@ -157,6 +170,7 @@ func TestConcurrentMixedWorkloadConsistency(t *testing.T) {
 			tx := tm.NewTx()
 			tm.Atomic(tx, func(tx *core.Tx) {
 				if err := vacation.CheckConsistency(tx, m); err != nil {
+					//stm:allow-effect test-only: a failed assertion ends the test, and the throwaway TM dies with it
 					t.Fatal(err)
 				}
 				if used, infos := vacation.TotalReserved(tx, m), vacation.CustomerInfoCount(tx, m); used != infos {
@@ -172,6 +186,7 @@ func TestConcurrentMixedWorkloadConsistency(t *testing.T) {
 		tx := tm.NewTx()
 		tm.Atomic(tx, func(tx *tl2.Tx) {
 			if err := vacation.CheckConsistency(tx, m); err != nil {
+				//stm:allow-effect test-only: a failed assertion ends the test, and the throwaway TM dies with it
 				t.Fatal(err)
 			}
 		})

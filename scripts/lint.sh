@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Single lint entry point, identical locally (`make lint`) and in CI:
+# gofmt, go vet, the repo's own stmlint analyzers, and staticcheck when
+# it is installed (CI installs a pinned version; locally it is optional
+# because this repo builds offline).
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+  echo "gofmt needed on:"
+  echo "$out"
+  fail=1
+fi
+
+go vet ./... || fail=1
+
+# stmlint: static enforcement of the STM's transactional invariants
+# (see README "Static analysis"). Covers every package in the module,
+# including examples/ and cmd/.
+go run ./cmd/stmlint ./... || fail=1
+
+if command -v staticcheck >/dev/null 2>&1; then
+  staticcheck ./... || fail=1
+else
+  echo "staticcheck not installed; skipped (CI runs the pinned version)"
+fi
+
+exit "$fail"

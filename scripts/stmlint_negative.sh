@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Negative test for the lint gate: inject a known transactional-invariant
+# violation into a scratch package and require stmlint to reject it. A
+# gate that cannot fail is not a gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dir="internal/stmlintcanary"
+if [ -e "$dir" ]; then
+  echo "refusing to overwrite existing $dir" >&2
+  exit 1
+fi
+trap 'rm -rf "$dir"' EXIT
+mkdir -p "$dir"
+cat > "$dir/canary.go" <<'EOF'
+// Package stmlintcanary is written by scripts/stmlint_negative.sh and
+// deleted afterwards: it exists only to prove the lint gate rejects a
+// transactional-invariant violation.
+package stmlintcanary
+
+import "tinystm/internal/core"
+
+// Leak mints a descriptor and drops it; the release analyzer must flag
+// the missing Release on the way out.
+func Leak(tm *core.TM) uint64 {
+	tx := tm.NewTx()
+	var v uint64
+	tm.Atomic(tx, func(tx *core.Tx) {
+		tx.Store(0, 1)
+		v = tx.Load(0)
+	})
+	return v
+}
+EOF
+
+# The canary must type-check: a broken package would make stmlint exit 2
+# and the gate would "pass" the negative test for the wrong reason.
+go build "./$dir"
+
+if go run ./cmd/stmlint "./$dir"; then
+  echo "FAIL: stmlint accepted an injected descriptor leak" >&2
+  exit 1
+fi
+echo "ok: stmlint rejected the injected violation"
