@@ -22,9 +22,11 @@ lint-negative:
 race:
 	$(GO) test -race -short ./internal/core/... ./internal/cm/... \
 		./internal/tuning/... ./internal/kvstore/... ./internal/kvserver/... \
+		./internal/kvproto/... ./internal/kvclient/... \
 		./internal/mvcc/... ./internal/reclaim/... ./internal/wal/... \
 		./internal/analysis/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -count=1 -run '^$$' \
-		./internal/microbench ./internal/core ./internal/tl2 .
+		./internal/microbench ./internal/core ./internal/tl2 \
+		./internal/kvproto .

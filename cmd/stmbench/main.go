@@ -37,7 +37,7 @@ func main() {
 	log.SetPrefix("stmbench: ")
 
 	var (
-		fig      = flag.String("fig", "all", "figure to reproduce: 2, 3, 4, 4r, 5, all, custom, clock, cm, server, snapshot")
+		fig      = flag.String("fig", "all", "figure to reproduce: 2, 3, 4, 4r, 5, all, custom, clock, cm, server, snapshot, proto")
 		cmFlag   = flag.String("cm", "suicide", "contention-management policy (suicide, backoff, karma, timestamp, serializer); -fig cm sweeps all five")
 		clock    = flag.String("clock", "fetchinc", "commit-clock strategy for TinySTM points (fetchinc, lazy, ticket); -fig clock sweeps all three")
 		bench    = flag.String("b", "rbtree", "structure for -fig custom (list, rbtree, skiplist, hashset)")
@@ -145,6 +145,16 @@ func main() {
 		}
 		fmt.Println()
 		emit(r.ToTable())
+	case "proto":
+		// Wire-surface and admission comparison over live TCP servers:
+		// HTTP+JSON vs. the binary kvproto protocol at equal workers,
+		// then a hot-key write storm with the admission gate off vs. on.
+		cfg := experiments.DefaultProtoConfig(sc)
+		fmt.Printf("proto sweep: %d keys, %d workers, %v per point, storm read %d%% theta %.2f, admission width %d\n",
+			cfg.Keys, cfg.Workers, cfg.Duration, cfg.StormReadPct, cfg.StormTheta, cfg.AdmissionWidth)
+		r := experiments.ProtoSweep(sc, cfg)
+		emit(r.SurfaceTable())
+		emit(r.StormTable())
 	case "snapshot":
 		// Read-only full-table scans under write pressure: the MVCC
 		// sidecar off (classic RO transactions that abort under writers)

@@ -37,7 +37,11 @@ import (
 	"syscall"
 	"time"
 
+	"strings"
+
 	"tinystm/internal/harness"
+	"tinystm/internal/kvclient"
+	"tinystm/internal/kvproto"
 	"tinystm/internal/rng"
 )
 
@@ -54,7 +58,9 @@ func main() {
 	log.SetPrefix("stmkv-loadgen: ")
 
 	var (
-		addr     = flag.String("addr", "http://localhost:8080", "stmkvd base URL")
+		addr     = flag.String("addr", "http://localhost:8080", "stmkvd base URL (with -proto binary: host:port of -proto-addr)")
+		proto    = flag.String("proto", "http", "wire surface: http (JSON) or binary (pipelined kvproto)")
+		conns    = flag.Int("conns", 1, "binary-protocol connections; workers round-robin over them (with -proto binary)")
 		rate     = flag.Float64("rate", 5000, "arrival rate, requests/second")
 		duration = flag.Duration("duration", 10*time.Second, "length of the arrival schedule")
 		workers  = flag.Int("workers", 32, "request concurrency")
@@ -87,20 +93,47 @@ func main() {
 	if *shift {
 		checkMix("phase-2", *readPct2, *theta2)
 	}
-	if *keys == 0 || *rate <= 0 || *workers <= 0 || *bsize <= 0 {
-		log.Fatal("-keys, -rate, -workers and -batch-size must be positive")
+	if *keys == 0 || *rate <= 0 || *workers <= 0 || *bsize <= 0 || *conns <= 0 {
+		log.Fatal("-keys, -rate, -workers, -batch-size and -conns must be positive")
 	}
 
-	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConns: 4 * *workers, MaxIdleConnsPerHost: 4 * *workers,
-	}}
+	// doOp issues one mixed operation over the selected surface; the
+	// worker id spreads binary traffic round-robin over the connections.
+	var doOp func(m *mixConsts, r *rng.Rand, worker int) error
+	var preloadOp func(key, val uint64) error
+	switch *proto {
+	case "http":
+		client := &http.Client{Transport: &http.Transport{
+			MaxIdleConns: 4 * *workers, MaxIdleConnsPerHost: 4 * *workers,
+		}}
+		doOp = func(m *mixConsts, r *rng.Rand, _ int) error {
+			return oneRequest(client, *addr, m, r)
+		}
+		preloadOp = func(key, val uint64) error { return put(client, *addr, key, val) }
+	case "binary":
+		target := strings.TrimPrefix(*addr, "http://")
+		clients := make([]*kvclient.Client, *conns)
+		for i := range clients {
+			clients[i] = kvclient.New(target, kvclient.Options{})
+			defer clients[i].Close()
+		}
+		doOp = func(m *mixConsts, r *rng.Rand, worker int) error {
+			return oneBinaryRequest(clients[worker%len(clients)], m, r)
+		}
+		preloadOp = func(key, val uint64) error {
+			_, err := clients[0].Put(key, val)
+			return err
+		}
+	default:
+		log.Fatalf("-proto %q: want http or binary", *proto)
+	}
 
 	if *preload {
 		r := rng.New(*seed)
 		for k := uint64(0); k < *keys; k++ {
 			k := k
 			v := r.Uint64() % 1000
-			if err := withRetry(func() error { return put(client, *addr, k, v) }); err != nil {
+			if err := withRetry(func() error { return preloadOp(k, v) }); err != nil {
 				log.Fatalf("preload key %d: %v", k, err)
 			}
 		}
@@ -130,7 +163,7 @@ func main() {
 		NewOp: func(w *harness.Worker) (func(*harness.Worker) error, func()) {
 			return func(w *harness.Worker) error {
 				return withRetry(func() error {
-					return oneRequest(client, *addr, phase.Load(), w.Rng)
+					return doOp(phase.Load(), w.Rng, w.ID)
 				})
 			}, nil
 		},
@@ -138,8 +171,8 @@ func main() {
 
 	log.Printf("offered=%d completed=%d dropped=%d errors=%d retries=%d",
 		res.Offered, res.Completed, res.Dropped, res.Errors, retries.Load())
-	log.Printf("throughput=%.0f req/s latency p50=%v p95=%v p99=%v max=%v",
-		res.Throughput, res.P50, res.P95, res.P99, res.Max)
+	log.Printf("throughput=%.0f req/s goodput=%.0f req/s latency p50=%v p95=%v p99=%v max=%v",
+		res.Throughput, res.Goodput, res.P50, res.P95, res.P99, res.Max)
 	if *minOps > 0 && res.Completed < *minOps {
 		log.Printf("FAIL: completed %d < min-ops %d", res.Completed, *minOps)
 		os.Exit(1)
@@ -175,6 +208,11 @@ func retryable(err error) bool {
 	var se statusError
 	if errors.As(err, &se) {
 		return se.code == http.StatusServiceUnavailable
+	}
+	// Binary-surface analogues: StatusUnavailable is the 503, a broken
+	// connection redials on the next attempt.
+	if errors.Is(err, kvclient.ErrUnavailable) || errors.Is(err, kvclient.ErrConn) {
+		return true
 	}
 	return errors.Is(err, syscall.ECONNREFUSED) ||
 		errors.Is(err, syscall.ECONNRESET) ||
@@ -246,6 +284,39 @@ func oneRequest(c *http.Client, base string, m *mixConsts, r *rng.Rand) error {
 		return drain(resp)
 	default:
 		return put(c, base, key, r.Uint64()%100000)
+	}
+}
+
+// oneBinaryRequest performs one mixed operation over the pipelined
+// binary protocol — the same mix shape as oneRequest, minus HTTP.
+func oneBinaryRequest(c *kvclient.Client, m *mixConsts, r *rng.Rand) error {
+	key := m.zipf.Next(r)
+	switch p := r.Intn(100); {
+	case p < m.readPct:
+		_, _, err := c.Get(key)
+		return err
+	case p < m.readPct+m.casPct:
+		// Optimistic RMW over the wire: read, then CAS once.
+		cur, found, err := c.Get(key)
+		if err != nil {
+			return err
+		}
+		if !found {
+			_, err := c.Put(key, 1)
+			return err
+		}
+		_, err = c.CAS(key, cur, cur+1)
+		return err
+	case p < m.readPct+m.casPct+m.batch:
+		ops := make([]kvproto.BatchOp, m.bsize)
+		for i := range ops {
+			ops[i] = kvproto.BatchOp{Op: kvproto.OpAdd, Key: m.zipf.Next(r), Val: 1}
+		}
+		_, err := c.Batch(ops)
+		return err
+	default:
+		_, err := c.Put(key, r.Uint64()%100000)
+		return err
 	}
 }
 

@@ -12,11 +12,19 @@
 //	stmkvd -durability group -wal-dir /var/lib/stmkvd
 //	                                         # crash-safe: acks after group fsync,
 //	                                         # replays the WAL on restart
+//	stmkvd -proto-addr :8081 -admission 64   # binary pipelined protocol with a
+//	                                         # tuned update-admission gate
+//
+// Both listen addresses accept :0 for an ephemeral port; the actual
+// bound addresses are logged as "http listening on ..." / "proto
+// listening on ..." so scripts can parse them.
 //
 // Endpoints: GET/PUT/DELETE /kv/{key}, POST /kv/{key}/cas, POST
 // /kv/{key}/add, POST /batch, GET /stats, GET /tuning, GET /healthz,
 // GET /readyz. Keys and values are uint64; see internal/kvserver for wire
-// formats. Drive it with cmd/stmkv-loadgen and watch /tuning re-adapt.
+// formats. The binary surface (-proto-addr) carries the same operations
+// over the kvproto framing, pipelined; see internal/kvproto. Drive either
+// with cmd/stmkv-loadgen and watch /tuning re-adapt.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -42,27 +51,30 @@ func main() {
 	log.SetPrefix("stmkvd: ")
 
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		space    = flag.Int("space", 1<<22, "transactional arena size in 64-bit words")
-		shards   = flag.Uint64("shards", 16, "store shards (power of two)")
-		buckets  = flag.Uint64("buckets", 64, "initial buckets per shard (power of two)")
-		design   = flag.String("design", "wb", "memory design: wb (write-back) or wt (write-through)")
-		clock    = flag.String("clock", "fetchinc", "commit-clock strategy: fetchinc, lazy, ticket")
-		geometry = flag.String("geometry", "2^8,0,1", "initial lock-table triple locks,shifts,h (accepts 2^k)")
-		cmFlag   = flag.String("cm", "suicide", "initial contention-management policy: suicide, backoff, karma, timestamp, serializer")
-		tuneCM   = flag.Bool("tune-cm", true, "let the tuning runtime switch the contention-management policy live (needs -autotune)")
-		snaps    = flag.Bool("snapshots", true, "attach the MVCC sidecar: /scan, all-Get /batch and Len run as wait-free snapshot transactions")
-		snapBudg = flag.Int("snap-budget", 0, "initial per-shard version budget for the sidecar (0 = mvcc default)")
-		tuneSnap = flag.Bool("tune-snapshots", true, "let the tuning runtime walk the version budget live (needs -autotune and -snapshots)")
-		autotune = flag.Bool("autotune", true, "attach the online tuning runtime")
-		period   = flag.Duration("period", time.Second, "tuning sample period")
-		samples  = flag.Int("samples", 3, "samples per tuning decision (max kept)")
-		minc     = flag.Uint64("min-commits", 1, "pause tuning below this many commits per period")
-		seed     = flag.Uint64("seed", 42, "tuner move-selection seed")
-		durab    = flag.String("durability", "off", "write-ahead-log ack mode: off, async, group (needs -wal-dir)")
-		walDir   = flag.String("wal-dir", "", "write-ahead-log directory (segments and checkpoints)")
-		walBatch = flag.Duration("wal-batch", 0, "WAL group-commit batch delay (0 = flush immediately)")
-		ckptEvry = flag.Duration("checkpoint-every", 30*time.Second, "snapshot-checkpoint period for WAL truncation (0 = never)")
+		addr      = flag.String("addr", ":8080", "HTTP listen address (:0 for an ephemeral port)")
+		protoAddr = flag.String("proto-addr", "", "binary kvproto listen address (empty = HTTP only; :0 for an ephemeral port)")
+		admWidth  = flag.Int("admission", 0, "admission gate width: max concurrent update transactions on both surfaces (0 = ungated)")
+		tuneAdm   = flag.Bool("tune-admission", true, "let the tuning runtime walk the admission width live (needs -autotune and -admission > 0)")
+		space     = flag.Int("space", 1<<22, "transactional arena size in 64-bit words")
+		shards    = flag.Uint64("shards", 16, "store shards (power of two)")
+		buckets   = flag.Uint64("buckets", 64, "initial buckets per shard (power of two)")
+		design    = flag.String("design", "wb", "memory design: wb (write-back) or wt (write-through)")
+		clock     = flag.String("clock", "fetchinc", "commit-clock strategy: fetchinc, lazy, ticket")
+		geometry  = flag.String("geometry", "2^8,0,1", "initial lock-table triple locks,shifts,h (accepts 2^k)")
+		cmFlag    = flag.String("cm", "suicide", "initial contention-management policy: suicide, backoff, karma, timestamp, serializer")
+		tuneCM    = flag.Bool("tune-cm", true, "let the tuning runtime switch the contention-management policy live (needs -autotune)")
+		snaps     = flag.Bool("snapshots", true, "attach the MVCC sidecar: /scan, all-Get /batch and Len run as wait-free snapshot transactions")
+		snapBudg  = flag.Int("snap-budget", 0, "initial per-shard version budget for the sidecar (0 = mvcc default)")
+		tuneSnap  = flag.Bool("tune-snapshots", true, "let the tuning runtime walk the version budget live (needs -autotune and -snapshots)")
+		autotune  = flag.Bool("autotune", true, "attach the online tuning runtime")
+		period    = flag.Duration("period", time.Second, "tuning sample period")
+		samples   = flag.Int("samples", 3, "samples per tuning decision (max kept)")
+		minc      = flag.Uint64("min-commits", 1, "pause tuning below this many commits per period")
+		seed      = flag.Uint64("seed", 42, "tuner move-selection seed")
+		durab     = flag.String("durability", "off", "write-ahead-log ack mode: off, async, group (needs -wal-dir)")
+		walDir    = flag.String("wal-dir", "", "write-ahead-log directory (segments and checkpoints)")
+		walBatch  = flag.Duration("wal-batch", 0, "WAL group-commit batch delay (0 = flush immediately)")
+		ckptEvry  = flag.Duration("checkpoint-every", 30*time.Second, "snapshot-checkpoint period for WAL truncation (0 = never)")
 	)
 	flag.Parse()
 
@@ -100,6 +112,8 @@ func main() {
 		Autotune:         *autotune,
 		TuneCM:           *autotune && *tuneCM,
 		TuneSnapshots:    *autotune && *tuneSnap && *snaps,
+		AdmissionWidth:   *admWidth,
+		TuneAdmission:    *autotune && *tuneAdm && *admWidth > 0,
 		Period:           *period,
 		Samples:          *samples,
 		MinPeriodCommits: *minc,
@@ -126,7 +140,21 @@ func main() {
 		}()
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Listen before serving so :0 resolves to a concrete port and scripts
+	// can parse the bound addresses from the log.
+	hl, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pl net.Listener
+	if *protoAddr != "" {
+		pl, err = net.Listen("tcp", *protoAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -134,14 +162,27 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Println("shutting down")
+		if pl != nil {
+			_ = pl.Close()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(ctx)
 	}()
 
-	log.Printf("serving on %s (design=%v clock=%v geometry=%v cm=%v snapshots=%v autotune=%v tune-cm=%v tune-snapshots=%v period=%v)",
-		*addr, d, cs, geo, ck, *snaps, *autotune, *autotune && *tuneCM, *autotune && *tuneSnap && *snaps, *period)
-	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	log.Printf("serving on %s (design=%v clock=%v geometry=%v cm=%v snapshots=%v autotune=%v tune-cm=%v tune-snapshots=%v admission=%d tune-admission=%v period=%v)",
+		hl.Addr(), d, cs, geo, ck, *snaps, *autotune, *autotune && *tuneCM, *autotune && *tuneSnap && *snaps,
+		*admWidth, *autotune && *tuneAdm && *admWidth > 0, *period)
+	log.Printf("http listening on %s", hl.Addr())
+	if pl != nil {
+		log.Printf("proto listening on %s", pl.Addr())
+		go func() {
+			if err := srv.ServeProto(pl); err != nil {
+				log.Fatalf("proto listener: %v", err)
+			}
+		}()
+	}
+	if err := hs.Serve(hl); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	<-done

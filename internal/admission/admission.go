@@ -1,0 +1,109 @@
+// Package admission bounds the number of concurrently RUNNING update
+// transactions at the server door — proactive contention management.
+//
+// The contention managers in internal/cm resolve conflicts after they
+// happen: a transaction runs, collides, and one of the parties dies.
+// Past a workload-dependent point that is pure waste — admitting more
+// concurrent updaters REDUCES committed throughput, because every
+// admitted transaction mostly generates aborts for the others (the
+// cost-of-concurrency observation behind the ATS-style serializer, here
+// applied before the conflict instead of after it). The Gate is a
+// width-limited token bucket in front of the update path: at most Width
+// updaters run at once, the rest queue at the door where they cost
+// nothing, and the width itself is a live tuning knob walked by
+// tuning.AdmissionConfig's controller from the observed abort ratio.
+//
+// Read-only transactions are never gated: snapshot reads are wait-free
+// and classic reads conflict only with writers, so bounding writers
+// already protects them.
+package admission
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Gate is the token bucket. The zero value is not usable; call New.
+type Gate struct {
+	//stm:allow-atomic gate state lives outside any transaction: it decides whether a transaction may START
+	mu       sync.Mutex
+	slot     *sync.Cond
+	width    int // current token count; floor 1, never starves
+	inflight int
+	admitted uint64 // total Enters granted
+	waited   uint64 // Enters that had to block first
+}
+
+// New builds a Gate admitting at most width concurrent updaters
+// (width < 1 is clamped to 1).
+func New(width int) *Gate {
+	if width < 1 {
+		width = 1
+	}
+	g := &Gate{width: width}
+	g.slot = sync.NewCond(&g.mu)
+	return g
+}
+
+// Enter blocks until an update slot is free, then claims it. Every Enter
+// must be paired with exactly one Exit.
+func (g *Gate) Enter() {
+	g.mu.Lock()
+	if g.inflight >= g.width {
+		g.waited++
+		for g.inflight >= g.width {
+			g.slot.Wait()
+		}
+	}
+	g.inflight++
+	g.admitted++
+	g.mu.Unlock()
+}
+
+// Exit releases a slot claimed by Enter.
+func (g *Gate) Exit() {
+	g.mu.Lock()
+	if g.inflight <= 0 {
+		g.mu.Unlock()
+		panic("admission: Exit without matching Enter")
+	}
+	g.inflight--
+	g.mu.Unlock()
+	// Signal outside the lock: the woken waiter re-checks under mu anyway,
+	// and a narrower critical section keeps the hot path short.
+	g.slot.Signal()
+}
+
+// Width returns the current admission width.
+func (g *Gate) Width() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.width
+}
+
+// SetWidth replaces the width on the live gate. Widening wakes queued
+// waiters immediately; narrowing never interrupts updaters already
+// admitted — the gate simply refills to the smaller width as they Exit.
+// The floor is 1: a zero-width gate would starve updates forever.
+func (g *Gate) SetWidth(w int) error {
+	if w < 1 {
+		return fmt.Errorf("admission: width %d below floor 1", w)
+	}
+	g.mu.Lock()
+	grew := w > g.width
+	g.width = w
+	g.mu.Unlock()
+	if grew {
+		g.slot.Broadcast()
+	}
+	return nil
+}
+
+// Stats returns the gate's counters: the current width, how many
+// updaters hold slots right now, how many Enters were granted in total,
+// and how many of those had to wait at the door.
+func (g *Gate) Stats() (width, inflight int, admitted, waited uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.width, g.inflight, g.admitted, g.waited
+}

@@ -1,0 +1,149 @@
+package admission
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	const width, workers, opsEach = 4, 32, 200
+	g := New(width)
+	var cur, peak, total atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < opsEach; j++ {
+				g.Enter()
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				total.Add(1)
+				cur.Add(-1)
+				g.Exit()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > width {
+		t.Fatalf("observed %d concurrent updaters, gate width %d", got, width)
+	}
+	if got := total.Load(); got != workers*opsEach {
+		t.Fatalf("completed %d ops, want %d", got, workers*opsEach)
+	}
+	w, inflight, admitted, _ := g.Stats()
+	if w != width || inflight != 0 || admitted != workers*opsEach {
+		t.Fatalf("Stats = (%d, %d, %d), want (%d, 0, %d)", w, inflight, admitted, width, workers*opsEach)
+	}
+}
+
+func TestGateWidenWakesWaiters(t *testing.T) {
+	g := New(1)
+	g.Enter() // occupy the only slot
+	entered := make(chan struct{})
+	go func() {
+		g.Enter()
+		close(entered)
+	}()
+	select {
+	case <-entered:
+		t.Fatal("second Enter passed a width-1 gate")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := g.SetWidth(2); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("widening the gate never woke the waiter")
+	}
+	g.Exit()
+	g.Exit()
+}
+
+func TestGateNarrowNeverInterrupts(t *testing.T) {
+	g := New(4)
+	for i := 0; i < 4; i++ {
+		g.Enter()
+	}
+	if err := g.SetWidth(1); err != nil {
+		t.Fatal(err)
+	}
+	// The four admitted updaters still hold slots; they exit normally and
+	// the gate refills at the new width.
+	for i := 0; i < 4; i++ {
+		g.Exit()
+	}
+	g.Enter()
+	done := make(chan struct{})
+	go func() {
+		g.Enter()
+		g.Exit()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("narrowed gate admitted two concurrent updaters")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Exit()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never admitted after Exit")
+	}
+}
+
+func TestGateFloor(t *testing.T) {
+	if g := New(0); g.Width() != 1 {
+		t.Fatalf("New(0) width = %d, want clamped to 1", g.Width())
+	}
+	g := New(8)
+	if err := g.SetWidth(0); err == nil {
+		t.Fatal("SetWidth(0) accepted; the floor is 1")
+	}
+	if g.Width() != 8 {
+		t.Fatalf("failed SetWidth changed the width to %d", g.Width())
+	}
+}
+
+func TestGateWaitedCounter(t *testing.T) {
+	g := New(1)
+	g.Enter()
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.Enter()
+		<-release
+		g.Exit()
+	}()
+	// Wait until the second Enter is provably queued.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, _, _, waited := g.Stats()
+		if waited == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queued Enter never counted as waited")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g.Exit()
+	close(release)
+	wg.Wait()
+	_, _, admitted, waited := g.Stats()
+	if admitted != 2 || waited != 1 {
+		t.Fatalf("counters = (admitted %d, waited %d), want (2, 1)", admitted, waited)
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProtoSweepQuick runs the full sweep shape at toy scale: both wire
+// surfaces answer, the storm arms differ only in the gate, and the
+// tables carry the admission columns.
+func TestProtoSweepQuick(t *testing.T) {
+	sc := tinyScale()
+	cfg := ProtoConfig{
+		Keys:           64,
+		Theta:          0.6,
+		ReadPcts:       []int{50},
+		Workers:        4,
+		Duration:       40 * time.Millisecond,
+		StormTheta:     0.99,
+		StormReadPct:   10,
+		AdmissionWidth: 4,
+		Period:         5 * time.Millisecond,
+		Seed:           42,
+	}
+	r := ProtoSweep(sc, cfg)
+	if len(r.Surface) != 2 {
+		t.Fatalf("surface points = %d, want 2", len(r.Surface))
+	}
+	for _, p := range r.Surface {
+		if p.Ops == 0 {
+			t.Fatalf("surface %q completed no ops", p.Surface)
+		}
+		if p.Errors != 0 {
+			t.Fatalf("surface %q saw %d errors on a clean run", p.Surface, p.Errors)
+		}
+	}
+	if r.Surface[0].Surface != "http" || r.Surface[1].Surface != "binary" {
+		t.Fatalf("surface order %q, %q", r.Surface[0].Surface, r.Surface[1].Surface)
+	}
+	if len(r.Storm) != 2 {
+		t.Fatalf("storm points = %d, want 2", len(r.Storm))
+	}
+	off, on := r.Storm[0], r.Storm[1]
+	if off.Gate != "off" || on.Gate != "on" {
+		t.Fatalf("storm gates %q, %q", off.Gate, on.Gate)
+	}
+	if off.AdmWidth != 0 {
+		t.Fatalf("ungated storm arm reports width %d", off.AdmWidth)
+	}
+	if on.AdmWidth < 1 {
+		t.Fatalf("gated storm arm reports width %d, want >= 1", on.AdmWidth)
+	}
+	if on.Ops == 0 || off.Ops == 0 {
+		t.Fatal("storm arm completed no ops")
+	}
+
+	var sb strings.Builder
+	st := r.SurfaceTable()
+	st.Render(&sb)
+	gt := r.StormTable()
+	gt.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"binary", "http", "admission", "adm width"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables missing %q", want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"tinystm/internal/admission"
 	"tinystm/internal/core"
 	"tinystm/internal/harness"
 	"tinystm/internal/kvstore"
@@ -41,6 +42,14 @@ type ServerConfig struct {
 	Statics []core.Params
 	Bounds  tuning.Bounds
 	Seed    uint64
+	// AdmissionWidth, when positive, puts an admission gate of that
+	// initial width in front of every update transaction (reads are never
+	// gated). Zero runs ungated.
+	AdmissionWidth int
+	// TuneAdmission attaches the gate to the autotuned run's tuning
+	// runtime, which walks the width from the live abort ratio. Requires
+	// AdmissionWidth > 0; static baselines keep the fixed width.
+	TuneAdmission bool
 }
 
 // DefaultServerConfig is a calm-to-hot phase flip over a modest keyspace,
@@ -77,6 +86,9 @@ type ServerPoint struct {
 	// Commits/Aborts are the TM counter deltas over the run; Reconfigs
 	// how many live reconfigurations happened during it.
 	Commits, Aborts, Reconfigs uint64
+	// AdmWidth is the gate's final width (0 when the run was ungated);
+	// AdmMoves counts width changes the tuner applied during the run.
+	AdmWidth, AdmMoves int
 }
 
 // ServerSweepResult is the outcome of one ServerSweep.
@@ -96,16 +108,20 @@ func (r ServerSweepResult) ToTable() harness.Table {
 	tbl := harness.Table{
 		Title: "service load: autotuned vs. static configurations",
 		Headers: []string{"configuration", "locks", "shifts", "h",
-			"completed (10^3)", "req/s (10^3)", "p50", "p95", "p99", "dropped", "aborts", "reconfigs"},
+			"completed (10^3)", "req/s (10^3)", "p50", "p95", "p99", "dropped", "aborts", "reconfigs", "adm", "adm moves"},
 	}
 	row := func(p ServerPoint) {
+		adm := "-"
+		if p.AdmWidth > 0 {
+			adm = fmt.Sprintf("%d", p.AdmWidth)
+		}
 		tbl.AddRow(p.Name, fmt.Sprintf("2^%d", log2(p.Params.Locks)), p.Params.Shifts, p.Params.Hier,
 			fmt.Sprintf("%.1f", float64(p.Load.Completed)/1000),
 			fmt.Sprintf("%.1f", p.Load.Throughput/1000),
 			p.Load.P50.Round(10*time.Microsecond).String(),
 			p.Load.P95.Round(10*time.Microsecond).String(),
 			p.Load.P99.Round(10*time.Microsecond).String(),
-			p.Load.Dropped, p.Aborts, p.Reconfigs)
+			p.Load.Dropped, p.Aborts, p.Reconfigs, adm, p.AdmMoves)
 	}
 	for _, p := range r.Statics {
 		row(p)
@@ -127,9 +143,17 @@ func runServerPoint(sc Scale, cfg ServerConfig, geo core.Params, autotune bool) 
 	m := kvstore.New[*core.Tx](tm, cfg.Shards, cfg.Buckets)
 	kvstore.Preload[*core.Tx](tm, m, cfg.Keys, 1)
 
+	// The gate fronts update transactions exactly as kvserver's handlers
+	// do; kvstore.Admitter keeps the interface indirection in one place.
+	var gate *admission.Gate
+	var adm kvstore.Admitter
+	if cfg.AdmissionWidth > 0 {
+		gate = admission.New(cfg.AdmissionWidth)
+		adm = gate
+	}
 	ops := make([]harness.OpFunc[*core.Tx], len(cfg.Mixes))
 	for i, mix := range cfg.Mixes {
-		ops[i] = kvstore.MixOp[*core.Tx](tm, m, mix)
+		ops[i] = kvstore.MixOpGated[*core.Tx](tm, m, mix, adm)
 	}
 	phased := harness.NewPhasedOp(ops...)
 	var flipper *time.Ticker
@@ -150,10 +174,15 @@ func runServerPoint(sc Scale, cfg ServerConfig, geo core.Params, autotune bool) 
 
 	var rt *tuning.Runtime
 	if autotune {
+		admCfg := tuning.AdmissionConfig{Enable: cfg.TuneAdmission && gate != nil}
+		if admCfg.Enable {
+			admCfg.Gate = gate
+		}
 		rt = tuning.NewRuntime(tm, tuning.RuntimeConfig{
-			Tuner:   tuning.Config{Initial: geo, Bounds: cfg.Bounds, Seed: cfg.Seed},
-			Period:  cfg.Period,
-			Samples: cfg.Samples,
+			Tuner:     tuning.Config{Initial: geo, Bounds: cfg.Bounds, Seed: cfg.Seed},
+			Period:    cfg.Period,
+			Samples:   cfg.Samples,
+			Admission: admCfg,
 		})
 		if err := rt.Start(); err != nil {
 			panic(fmt.Sprintf("experiments: server sweep autotune start: %v", err))
@@ -182,10 +211,17 @@ func runServerPoint(sc Scale, cfg ServerConfig, geo core.Params, autotune bool) 
 		name = "autotuned"
 		params = tm.Params()
 	}
-	return ServerPoint{
+	pt := ServerPoint{
 		Name: name, Params: params, Load: load,
 		Commits: delta.Commits, Aborts: delta.Aborts, Reconfigs: delta.Reconfigs,
-	}, events
+	}
+	if gate != nil {
+		pt.AdmWidth = gate.Width()
+	}
+	if rt != nil {
+		pt.AdmMoves = rt.AdmissionMoves()
+	}
+	return pt, events
 }
 
 // ServerSweep measures the autotuned configuration and every static

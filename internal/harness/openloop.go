@@ -50,6 +50,11 @@ type OpenLoopResult struct {
 	Elapsed           time.Duration
 	// Throughput is completed requests per second of elapsed time.
 	Throughput float64
+	// Goodput is successfully completed requests (Completed - Errors) per
+	// second of elapsed time: the number an admission-control comparison
+	// must rank by, since refusing work raises Throughput's denominator
+	// without serving anyone.
+	Goodput float64
 	// Latency percentiles measured from scheduled arrival to completion,
 	// so queueing delay is included (the open-loop convention; a closed
 	// loop's "service time only" latency hides overload entirely).
@@ -145,6 +150,7 @@ func (o OpenLoop) Run() OpenLoopResult {
 	res.Completed = uint64(len(lats))
 	if secs := res.Elapsed.Seconds(); secs > 0 {
 		res.Throughput = float64(res.Completed) / secs
+		res.Goodput = float64(res.Completed-res.Errors) / secs
 	}
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })

@@ -1,0 +1,356 @@
+// Package kvclient is the pipelined client for the kvproto binary
+// protocol. One Client owns one TCP connection and multiplexes any
+// number of concurrent callers over it: each call claims a request id,
+// registers a completion channel, and the shared writer/reader pair
+// streams frames both ways — thousands of requests in flight, responses
+// matched by id as they complete out of order. This is what makes the
+// binary surface measure the STM instead of connection handling: no
+// per-request dial, no per-request goroutine on the server's HTTP mux,
+// no JSON.
+//
+// The client redials lazily: a broken connection fails every in-flight
+// call with ErrConn, and the next call dials fresh. Status-level
+// unavailability (WAL replay, degraded mode, admission refusal) comes
+// back as ErrUnavailable — retryable, the 503 analogue — while
+// StatusError is terminal.
+package kvclient
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tinystm/internal/kvproto"
+)
+
+// Sentinel errors. Wrapped errors carry detail; test with errors.Is.
+var (
+	// ErrUnavailable is a server-side StatusUnavailable: retry later.
+	ErrUnavailable = errors.New("kvclient: server unavailable")
+	// ErrConn is a transport failure: the connection died with calls in
+	// flight. The calls' outcomes are unknown (a mutation may or may not
+	// have committed); the client redials on the next call.
+	ErrConn = errors.New("kvclient: connection failed")
+	// ErrClosed reports a call on a Close()d client.
+	ErrClosed = errors.New("kvclient: client closed")
+)
+
+// Options tune a Client.
+type Options struct {
+	// MaxInflight bounds concurrently outstanding requests on the
+	// connection (default 1024). Callers past the bound block.
+	MaxInflight int
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 1024
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Client is a pipelined kvproto client. Safe for concurrent use; the
+// zero value is not usable, call New.
+type Client struct {
+	addr string
+	opts Options
+
+	// inflight is the pipelining bound, shared across redials.
+	inflight chan struct{}
+
+	//stm:allow-atomic client-side connection bookkeeping; no STM in this process
+	mu     sync.Mutex
+	conn   *clientConn // current connection, nil before first use / after failure
+	nextID uint64
+	closed bool
+}
+
+// clientConn is one connection generation: its socket, writer queue and
+// pending-call table die together, so a redial can never cross-deliver
+// a stale response to a new call.
+type clientConn struct {
+	c    net.Conn
+	out  chan []byte
+	dead chan struct{} // closed by fail(); unblocks the writer and senders
+
+	//stm:allow-atomic guards the pending-call table on the client side
+	mu      sync.Mutex
+	pending map[uint64]chan outcome
+	err     error // set once broken; guards against late registrations
+}
+
+// outcome is what a waiting call receives.
+type outcome struct {
+	resp *kvproto.Response
+	err  error
+}
+
+// New builds a client for addr ("host:port"). The connection is dialed
+// lazily on first use.
+func New(addr string, opts Options) *Client {
+	opts = opts.withDefaults()
+	return &Client{
+		addr:     addr,
+		opts:     opts,
+		inflight: make(chan struct{}, opts.MaxInflight),
+	}
+}
+
+// Close fails in-flight calls and tears down the connection. The client
+// cannot be reused.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if conn != nil {
+		conn.fail(ErrClosed)
+	}
+}
+
+// getConn returns the live connection, dialing when necessary.
+func (c *Client) getConn() (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.conn != nil {
+		return c.conn, nil
+	}
+	sock, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrConn, c.addr, err)
+	}
+	conn := &clientConn{
+		c:       sock,
+		out:     make(chan []byte, c.opts.MaxInflight),
+		dead:    make(chan struct{}),
+		pending: make(map[uint64]chan outcome),
+	}
+	go conn.writeLoop()
+	go func() {
+		conn.readLoop()
+		// The connection is dead; detach it so the next call redials.
+		c.mu.Lock()
+		if c.conn == conn {
+			c.conn = nil
+		}
+		c.mu.Unlock()
+	}()
+	c.conn = conn
+	return conn, nil
+}
+
+// writeLoop streams queued frames out, flushing only when the queue runs
+// dry: pipelined callers share flushes, a lone caller flushes at once.
+func (cc *clientConn) writeLoop() {
+	bw := bufio.NewWriterSize(cc.c, 64<<10)
+	for {
+		var frame []byte
+		select {
+		case frame = <-cc.out:
+		case <-cc.dead:
+			return
+		}
+		if _, err := bw.Write(frame); err != nil {
+			cc.fail(fmt.Errorf("%w: write: %v", ErrConn, err))
+			return
+		}
+		if len(cc.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				cc.fail(fmt.Errorf("%w: flush: %v", ErrConn, err))
+				return
+			}
+		}
+	}
+}
+
+// readLoop matches responses to waiting calls by id until the stream
+// breaks, then fails everything still pending.
+func (cc *clientConn) readLoop() {
+	var buf []byte
+	for {
+		payload, err := kvproto.ReadFrame(cc.c, buf)
+		if err != nil {
+			cc.fail(fmt.Errorf("%w: read: %v", ErrConn, err))
+			return
+		}
+		buf = payload
+		resp, err := kvproto.DecodeResponse(payload)
+		if err != nil {
+			cc.fail(fmt.Errorf("%w: decode: %v", ErrConn, err))
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[resp.ID]
+		if ok {
+			delete(cc.pending, resp.ID)
+		}
+		cc.mu.Unlock()
+		if ok {
+			ch <- outcome{resp: resp}
+		}
+	}
+}
+
+// fail breaks the connection once: closes the socket, fails every
+// pending call, and poisons the table against late registrations.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.err != nil {
+		cc.mu.Unlock()
+		return
+	}
+	cc.err = err
+	pending := cc.pending
+	cc.pending = nil
+	cc.mu.Unlock()
+	close(cc.dead)
+	cc.c.Close()
+	for _, ch := range pending {
+		ch <- outcome{err: err}
+	}
+}
+
+// register claims a slot in the pending table; fails fast on a broken
+// connection.
+func (cc *clientConn) register(id uint64, ch chan outcome) error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.err != nil {
+		return cc.err
+	}
+	cc.pending[id] = ch
+	return nil
+}
+
+// roundTrip sends one request and waits for its response. Concurrent
+// roundTrips pipeline on the shared connection.
+func (c *Client) roundTrip(req *kvproto.Request) (*kvproto.Response, error) {
+	c.inflight <- struct{}{}
+	defer func() { <-c.inflight }()
+
+	conn, err := c.getConn()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.nextID++
+	req.ID = c.nextID
+	c.mu.Unlock()
+
+	payload, err := kvproto.AppendRequest(nil, req)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := kvproto.AppendFrame(nil, payload)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan outcome, 1)
+	if err := conn.register(req.ID, ch); err != nil {
+		return nil, err
+	}
+	// A dead connection has already delivered this call's failure to ch;
+	// the select keeps the send from blocking on a writer that is gone.
+	select {
+	case conn.out <- frame:
+	case <-conn.dead:
+	}
+	out := <-ch
+	if out.err != nil {
+		return nil, out.err
+	}
+	switch out.resp.Status {
+	case kvproto.StatusOK:
+		return out.resp, nil
+	case kvproto.StatusUnavailable:
+		return nil, fmt.Errorf("%w: %s", ErrUnavailable, out.resp.Msg)
+	default:
+		return nil, fmt.Errorf("kvclient: server error: %s", out.resp.Msg)
+	}
+}
+
+// Get reads one key.
+func (c *Client) Get(key uint64) (val uint64, found bool, err error) {
+	resp, err := c.roundTrip(&kvproto.Request{Op: kvproto.OpGet, Key: key})
+	if err != nil {
+		return 0, false, err
+	}
+	return resp.Val, resp.Found, nil
+}
+
+// Put upserts key; inserted reports whether it was absent.
+func (c *Client) Put(key, val uint64) (inserted bool, err error) {
+	resp, err := c.roundTrip(&kvproto.Request{Op: kvproto.OpPut, Key: key, Val: val})
+	if err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// Delete removes key; found reports whether it existed.
+func (c *Client) Delete(key uint64) (found bool, err error) {
+	resp, err := c.roundTrip(&kvproto.Request{Op: kvproto.OpDelete, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return resp.Found, nil
+}
+
+// CAS swaps key from old to new atomically.
+func (c *Client) CAS(key, old, new uint64) (ok bool, err error) {
+	resp, err := c.roundTrip(&kvproto.Request{Op: kvproto.OpCAS, Key: key, Old: old, Val: new})
+	if err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// Add atomically adds delta to key (missing keys start at zero) and
+// returns the new value.
+func (c *Client) Add(key, delta uint64) (val uint64, err error) {
+	resp, err := c.roundTrip(&kvproto.Request{Op: kvproto.OpAdd, Key: key, Val: delta})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Val, nil
+}
+
+// Batch runs ops as one atomic transaction.
+func (c *Client) Batch(ops []kvproto.BatchOp) ([]kvproto.BatchResult, error) {
+	resp, err := c.roundTrip(&kvproto.Request{Op: kvproto.OpBatch, Ops: ops})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// Scan returns up to limit pairs (0: server default) plus the exact
+// total key count and whether the walk ran as a snapshot.
+func (c *Client) Scan(limit uint32) (pairs []kvproto.KV, total uint64, snapshot bool, err error) {
+	resp, err := c.roundTrip(&kvproto.Request{Op: kvproto.OpScan, Limit: limit})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return resp.Pairs, resp.Total, resp.Snapshot, nil
+}
+
+// Stats fetches the server's core counters.
+func (c *Client) Stats() (kvproto.Stats, error) {
+	resp, err := c.roundTrip(&kvproto.Request{Op: kvproto.OpStats})
+	if err != nil {
+		return kvproto.Stats{}, err
+	}
+	return resp.Stats, nil
+}

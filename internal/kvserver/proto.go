@@ -1,0 +1,286 @@
+// The binary-protocol face of the server: the same store, lifecycle gate
+// and admission gate as the HTTP handlers, behind the kvproto framing.
+// One TCP connection carries many requests in flight — the reader
+// dispatches each op to its own goroutine (bounded per connection) and
+// the writer streams responses back in COMPLETION order, so a slow
+// update never convoys the reads pipelined behind it.
+package kvserver
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"tinystm/internal/core"
+	"tinystm/internal/kvproto"
+	"tinystm/internal/kvstore"
+)
+
+// protoInflight bounds one connection's concurrently executing ops: the
+// pipeline stays thousands deep in the kernel socket buffers, but only
+// this many transactions run at once per connection (the admission gate
+// then bounds updaters across ALL connections).
+const protoInflight = 256
+
+// protoStats carries the binary listener's counters for /stats and the
+// smoke tests' zero-protocol-errors assertion.
+type protoStats struct {
+	//stm:allow-atomic listener accounting outside any transaction
+	conns atomic.Int64 // currently open connections
+	//stm:allow-atomic listener accounting outside any transaction
+	accepted atomic.Uint64 // connections accepted in total
+	//stm:allow-atomic listener accounting outside any transaction
+	ops atomic.Uint64 // requests executed
+	//stm:allow-atomic listener accounting outside any transaction
+	errOps atomic.Uint64 // responses with a non-OK status
+	//stm:allow-atomic listener accounting outside any transaction
+	badFrames atomic.Uint64 // connections dropped for framing/decode errors
+}
+
+func (p *protoStats) stats() map[string]any {
+	return map[string]any{
+		"conns":      p.conns.Load(),
+		"accepted":   p.accepted.Load(),
+		"ops":        p.ops.Load(),
+		"err_ops":    p.errOps.Load(),
+		"bad_frames": p.badFrames.Load(),
+	}
+}
+
+// ServeProto accepts kvproto connections on l until the listener closes.
+// Each connection gets a reader (frames in, ops dispatched) and a writer
+// (responses out, coalesced flushes); the call blocks like http.Serve.
+func (s *Server) ServeProto(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.proto.accepted.Add(1)
+		s.proto.conns.Add(1)
+		go func() {
+			defer s.proto.conns.Add(-1)
+			s.serveProtoConn(conn)
+		}()
+	}
+}
+
+// serveProtoConn runs one connection's reader loop. Any framing error —
+// oversized length, CRC mismatch, truncation — kills the connection:
+// a byte stream that lost framing cannot resynchronize.
+func (s *Server) serveProtoConn(conn net.Conn) {
+	defer conn.Close()
+
+	// The writer drains out. Responses complete out of order by design;
+	// the id the client chose is its only matching key. The buffered
+	// channel lets op goroutines finish without rendezvousing with the
+	// flush, and the writer flushes only when the channel runs dry —
+	// group-flush for pipelined load, immediate for ping-pong callers.
+	out := make(chan []byte, protoInflight)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		bw := bufio.NewWriterSize(conn, 64<<10)
+		for payload := range out {
+			frame, err := kvproto.AppendFrame(nil, payload)
+			if err != nil {
+				continue // oversized payload is a server bug; drop the response, not the conn
+			}
+			if _, err := bw.Write(frame); err != nil {
+				// Drain without writing: the connection is gone, but op
+				// goroutines must never block on send.
+				for range out {
+				}
+				return
+			}
+			if len(out) == 0 {
+				if bw.Flush() != nil {
+					for range out {
+					}
+					return
+				}
+			}
+		}
+		bw.Flush()
+	}()
+
+	var wg sync.WaitGroup
+	slots := make(chan struct{}, protoInflight)
+	var buf []byte
+	for {
+		payload, err := kvproto.ReadFrame(conn, buf)
+		if err != nil {
+			if err != io.EOF {
+				s.proto.badFrames.Add(1)
+			}
+			break
+		}
+		buf = payload
+		req, err := kvproto.DecodeRequest(payload)
+		if err != nil {
+			// The frame was intact (CRC passed) but the payload is not a
+			// request we understand: answer StatusError when the id is
+			// recoverable, then drop the connection — the peer is broken.
+			s.proto.badFrames.Add(1)
+			if len(payload) >= 8 {
+				id := binary.LittleEndian.Uint64(payload[:8])
+				s.sendProto(out, &kvproto.Response{ID: id, Op: kvproto.OpGet, Status: kvproto.StatusError, Msg: err.Error()})
+			}
+			break
+		}
+		slots <- struct{}{}
+		wg.Add(1)
+		go func(req *kvproto.Request) {
+			defer func() { <-slots; wg.Done() }()
+			s.sendProto(out, s.protoExec(req))
+		}(req)
+	}
+	wg.Wait()
+	close(out)
+	<-writerDone
+}
+
+// sendProto encodes and enqueues one response.
+func (s *Server) sendProto(out chan<- []byte, resp *kvproto.Response) {
+	if resp.Status != kvproto.StatusOK {
+		s.proto.errOps.Add(1)
+	}
+	payload, err := kvproto.AppendResponse(nil, resp)
+	if err != nil {
+		// Encoding our own response can only fail on a server bug
+		// (oversized pair list); degrade to a generic error.
+		payload, _ = kvproto.AppendResponse(nil, &kvproto.Response{
+			ID: resp.ID, Op: resp.Op, Status: kvproto.StatusError, Msg: "response encoding failed",
+		})
+	}
+	out <- payload
+}
+
+// protoOpKinds maps wire sub-op codes to store op kinds (same order).
+var protoOpKinds = [...]kvstore.OpKind{
+	kvproto.OpGet:    kvstore.OpGet,
+	kvproto.OpPut:    kvstore.OpPut,
+	kvproto.OpDelete: kvstore.OpDelete,
+	kvproto.OpCAS:    kvstore.OpCAS,
+	kvproto.OpAdd:    kvstore.OpAdd,
+}
+
+// protoExec runs one request against the store and builds its response.
+// It applies the same three gates as the HTTP path: the lifecycle gate
+// (replaying/degraded/failed servers refuse work), the admission gate
+// (update transactions only), and the recover layer that converts arena
+// exhaustion and failed durability waits into statuses instead of
+// tearing down the connection.
+func (s *Server) protoExec(req *kvproto.Request) (resp *kvproto.Response) {
+	s.proto.ops.Add(1)
+	resp = &kvproto.Response{ID: req.ID, Op: req.Op}
+	if msg, ok := s.protoAdmit(req.Op); !ok {
+		resp.Status = kvproto.StatusUnavailable
+		resp.Msg = msg
+		return resp
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			if rec == core.ErrSpaceExhausted {
+				resp.Status = kvproto.StatusError
+				resp.Msg = core.ErrSpaceExhausted.Error()
+				return
+			}
+			if derr, ok := rec.(*kvstore.DurabilityError); ok {
+				resp.Status = kvproto.StatusUnavailable
+				resp.Msg = derr.Error()
+				return
+			}
+			panic(rec)
+		}
+	}()
+	switch req.Op {
+	case kvproto.OpGet:
+		resp.Val, resp.Found = s.store.Get(req.Key)
+	case kvproto.OpPut:
+		defer s.enterUpdate()()
+		resp.OK = s.store.Put(req.Key, req.Val)
+	case kvproto.OpDelete:
+		defer s.enterUpdate()()
+		resp.Found = s.store.Delete(req.Key)
+	case kvproto.OpCAS:
+		defer s.enterUpdate()()
+		resp.OK = s.store.CAS(req.Key, req.Old, req.Val)
+	case kvproto.OpAdd:
+		defer s.enterUpdate()()
+		resp.Val = s.store.Add(req.Key, req.Val)
+	case kvproto.OpBatch:
+		if len(req.Ops) == 0 {
+			resp.Status = kvproto.StatusError
+			resp.Msg = "empty batch"
+			return resp
+		}
+		ops := make([]kvstore.Op, len(req.Ops))
+		for i, o := range req.Ops {
+			ops[i] = kvstore.Op{Kind: protoOpKinds[o.Op], Key: o.Key, Val: o.Val, Old: o.Old}
+		}
+		if !readOnlyOps(ops) {
+			defer s.enterUpdate()()
+		}
+		res := s.store.Apply(ops)
+		resp.Results = make([]kvproto.BatchResult, len(res))
+		for i, r := range res {
+			resp.Results[i] = kvproto.BatchResult{Val: r.Val, Found: r.Found, OK: r.OK}
+		}
+	case kvproto.OpScan:
+		limit := maxScanPairs
+		if req.Limit > 0 && int(req.Limit) < limit {
+			limit = int(req.Limit)
+		}
+		pairs, total := s.store.Scan(limit)
+		resp.Total = total
+		resp.Snapshot = s.tm.SnapshotsEnabled()
+		if len(pairs) > 0 {
+			resp.Pairs = make([]kvproto.KV, len(pairs))
+			for i, kv := range pairs {
+				resp.Pairs[i] = kvproto.KV{Key: kv.Key, Val: kv.Val}
+			}
+		}
+	case kvproto.OpStats:
+		st := s.tm.Stats()
+		resp.Stats = kvproto.Stats{
+			Commits:        st.Commits,
+			Aborts:         st.Aborts,
+			Keys:           s.store.Len(),
+			AdmissionWidth: uint32(s.admissionWidth()),
+		}
+	default:
+		resp.Status = kvproto.StatusError
+		resp.Msg = "unknown op"
+	}
+	return resp
+}
+
+// protoAdmit is the lifecycle gate for binary ops, mirroring admit():
+// stats always answer (observability), reads survive degraded mode,
+// everything else needs a ready server.
+func (s *Server) protoAdmit(op kvproto.Op) (msg string, ok bool) {
+	if op == kvproto.OpStats {
+		return "", true
+	}
+	switch s.dur.state.Load() {
+	case stateReady:
+		return "", true
+	case stateDegraded:
+		if op == kvproto.OpGet || op == kvproto.OpScan {
+			return "", true
+		}
+		return "degraded: write-ahead log failed; serving reads only", false
+	case stateFailed:
+		return "recovery failed; see /stats", false
+	default:
+		return "recovering write-ahead log", false
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"strconv"
 	"time"
 
+	"tinystm/internal/admission"
 	"tinystm/internal/cm"
 	"tinystm/internal/core"
 	"tinystm/internal/kvstore"
@@ -79,6 +80,15 @@ type Config struct {
 	// tuning dimension, metered by snapshot-too-old aborts. Requires
 	// Autotune and Snapshots.
 	TuneSnapshots bool
+	// AdmissionWidth puts a token-bucket gate of that many concurrent
+	// update transactions in front of the store (both HTTP and binary
+	// surfaces); 0 disables the gate. Reads are never gated.
+	AdmissionWidth int
+	// TuneAdmission additionally enables the runtime's admission
+	// controller: the gate width becomes a live tuning dimension walked
+	// from the observed abort ratio. Requires Autotune and
+	// AdmissionWidth > 0.
+	TuneAdmission bool
 	// Period, Samples, MinPeriodCommits and Bounds mirror
 	// tuning.RuntimeConfig.
 	Period           time.Duration
@@ -134,6 +144,11 @@ func (c Config) withDefaults() Config {
 	if !c.Snapshots {
 		c.TuneSnapshots = false
 	}
+	// Same normalization for the admission controller: no gate, nothing
+	// to tune.
+	if c.AdmissionWidth <= 0 {
+		c.TuneAdmission = false
+	}
 	if c.Durability == "" {
 		c.Durability = DurabilityOff
 	}
@@ -150,6 +165,10 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 	dur   *durability
+	// gate is the update-admission token bucket, nil without
+	// AdmissionWidth; proto carries the binary listener's counters.
+	gate  *admission.Gate
+	proto protoStats
 }
 
 // validate rejects configurations the lower layers would panic on, so
@@ -200,7 +219,14 @@ func New(cfg Config) (*Server, error) {
 		store: kvstore.NewStore[*core.Tx](tm, cfg.Shards, cfg.Buckets),
 		start: time.Now(),
 	}
+	if cfg.AdmissionWidth > 0 {
+		s.gate = admission.New(cfg.AdmissionWidth)
+	}
 	if cfg.Autotune {
+		admCfg := tuning.AdmissionConfig{Enable: cfg.TuneAdmission}
+		if cfg.TuneAdmission {
+			admCfg.Gate = s.gate
+		}
 		s.rt = tuning.NewRuntime(tm, tuning.RuntimeConfig{
 			Tuner:            tuning.Config{Initial: cfg.Geometry, Bounds: cfg.Bounds, Seed: cfg.Seed},
 			Period:           cfg.Period,
@@ -208,6 +234,7 @@ func New(cfg Config) (*Server, error) {
 			MinPeriodCommits: cfg.MinPeriodCommits,
 			CM:               tuning.CMConfig{Enable: cfg.TuneCM},
 			Snapshot:         tuning.SnapshotConfig{Enable: cfg.TuneSnapshots},
+			Admission:        admCfg,
 			// A daemon tunes forever: keep only a bounded window of
 			// events in memory (/tuning serves its tail).
 			TraceCap: traceCap,
@@ -342,6 +369,19 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /tuning", s.handleTuning)
 }
 
+// enterUpdate claims an update-admission slot (blocking at the door when
+// the gate is full) and returns the release. A nil gate admits freely.
+// Both surfaces — the HTTP handlers and the binary-protocol executor —
+// pass every update transaction through here, so the tuned width governs
+// the whole server.
+func (s *Server) enterUpdate() func() {
+	if s.gate == nil {
+		return func() {}
+	}
+	s.gate.Enter()
+	return s.gate.Exit
+}
+
 func pathKey(w http.ResponseWriter, r *http.Request) (uint64, bool) {
 	k, err := strconv.ParseUint(r.PathValue("key"), 10, 64)
 	if err != nil {
@@ -380,6 +420,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad value (want a decimal uint64 body): "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	defer s.enterUpdate()()
 	inserted := s.store.Put(key, val)
 	writeJSON(w, http.StatusOK, map[string]bool{"inserted": inserted})
 }
@@ -389,6 +430,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer s.enterUpdate()()
 	if !s.store.Delete(key) {
 		http.Error(w, "key not found", http.StatusNotFound)
 		return
@@ -406,6 +448,7 @@ func (s *Server) handleCAS(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	defer s.enterUpdate()()
 	swapped := s.store.CAS(key, req.Old, req.New)
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": swapped})
 }
@@ -420,6 +463,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	defer s.enterUpdate()()
 	val := s.store.Add(key, req.Delta)
 	writeJSON(w, http.StatusOK, map[string]uint64{"val": val})
 }
@@ -469,12 +513,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		ops[i] = kvstore.Op{Kind: kind, Key: o.Key, Val: o.Val, Old: o.Old}
 	}
+	if !readOnlyOps(ops) {
+		defer s.enterUpdate()()
+	}
 	res := s.store.Apply(ops)
 	out := make([]wireResult, len(res))
 	for i, r := range res {
 		out[i] = wireResult{Val: r.Val, Found: r.Found, OK: r.OK}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+}
+
+// readOnlyOps reports whether a batch is all Gets (and therefore runs as
+// an ungated snapshot read, exactly like Apply's own read-only path).
+func readOnlyOps(ops []kvstore.Op) bool {
+	for _, op := range ops {
+		if op.Kind != kvstore.OpGet {
+			return false
+		}
+	}
+	return true
 }
 
 // maxScanPairs bounds one /scan response's pair list; ?limit=N requests
@@ -544,7 +602,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"aborts_snapshot_too_old": tooOld,
 		},
 		"durability": s.durabilityStats(st.RedoRecords),
+		"admission":  s.admissionStats(),
+		"proto":      s.proto.stats(),
 	})
+}
+
+// admissionWidth returns the gate's live width, 0 without a gate.
+func (s *Server) admissionWidth() int {
+	if s.gate == nil {
+		return 0
+	}
+	return s.gate.Width()
+}
+
+// admissionStats renders the update-admission gate for /stats.
+func (s *Server) admissionStats() map[string]any {
+	if s.gate == nil {
+		return map[string]any{"enabled": false}
+	}
+	width, inflight, admitted, waited := s.gate.Stats()
+	return map[string]any{
+		"enabled":  true,
+		"tuned":    s.cfg.TuneAdmission,
+		"width":    width,
+		"inflight": inflight,
+		"admitted": admitted,
+		"waited":   waited,
+	}
 }
 
 // wireEvent is the JSON form of one tuning period.
@@ -562,9 +646,12 @@ type wireEvent struct {
 	Budget     int        `json:"budget,omitempty"`
 	NextBudget int        `json:"next_budget,omitempty"`
 	SnapTooOld uint64     `json:"snap_too_old,omitempty"`
+	AdmWidth   int        `json:"adm_width,omitempty"`
+	NextAdm    int        `json:"next_adm_width,omitempty"`
 	Err        string     `json:"err,omitempty"`
 	CMErr      string     `json:"cm_err,omitempty"`
 	SnapErr    string     `json:"snap_err,omitempty"`
+	AdmErr     string     `json:"adm_err,omitempty"`
 }
 
 // traceCap bounds the tuning runtime's retained event window on a
@@ -632,6 +719,15 @@ func (s *Server) handleTuning(w http.ResponseWriter, r *http.Request) {
 				we.SnapErr = e.SnapErr.Error()
 			}
 		}
+		if s.cfg.TuneAdmission {
+			we.AdmWidth = e.AdmWidth
+			if e.AdmChanged {
+				we.NextAdm = e.NextAdmWidth
+			}
+			if e.AdmErr != nil {
+				we.AdmErr = e.AdmErr.Error()
+			}
+		}
 		if e.Err != nil {
 			we.Err = e.Err.Error()
 		}
@@ -658,6 +754,9 @@ func (s *Server) handleTuning(w http.ResponseWriter, r *http.Request) {
 		"snapshot_tuning":   s.cfg.TuneSnapshots,
 		"version_budget":    s.tm.VersionBudget(),
 		"budget_moves":      s.rt.BudgetMoves(),
+		"admission_tuning":  s.cfg.TuneAdmission,
+		"admission_width":   s.admissionWidth(),
+		"admission_moves":   s.rt.AdmissionMoves(),
 		"events":            out,
 	})
 }

@@ -99,6 +99,58 @@ func MixOp[T txn.Tx](sys txn.System[T], m *Map[T], x Mix) harness.OpFunc[T] {
 	}
 }
 
+// Admitter is the update-admission gate MixOpGated passes write
+// transactions through (admission.Gate satisfies it). It lives here as a
+// one-method-pair interface so kvstore does not import the gate package.
+type Admitter interface {
+	Enter()
+	Exit()
+}
+
+// MixOpGated is MixOp with an admission gate in front of every update
+// transaction: the op function blocks at the gate before starting a
+// write, exactly like a server handler behind admission control, so
+// closed-loop experiments measure the gate's effect on goodput. Reads
+// are never gated. A nil gate degrades to plain MixOp.
+func MixOpGated[T txn.Tx](sys txn.System[T], m *Map[T], x Mix, gate Admitter) harness.OpFunc[T] {
+	op := MixOp(sys, m, x)
+	if gate == nil {
+		return op
+	}
+	x = x.withDefaults()
+	zipf := rng.NewZipf(x.Keys, x.Theta)
+	return func(w *Worker, tx T) {
+		key := zipf.Next(w.Rng)
+		switch p := w.Rng.Intn(100); {
+		case p < x.ReadPct:
+			sys.AtomicRO(tx, func(tx T) { m.Get(tx, key) })
+		case p < x.ReadPct+x.CASPct:
+			var cur uint64
+			var found bool
+			sys.AtomicRO(tx, func(tx T) { cur, found = m.Get(tx, key) })
+			gate.Enter()
+			if found {
+				sys.Atomic(tx, func(tx T) { m.CAS(tx, key, cur, cur+1) })
+			} else {
+				sys.Atomic(tx, func(tx T) { m.Put(tx, key, 1) })
+			}
+			gate.Exit()
+		case p < x.ReadPct+x.CASPct+x.BatchPct:
+			gate.Enter()
+			sys.Atomic(tx, func(tx T) {
+				for i := 0; i < x.BatchSize; i++ {
+					m.Add(tx, zipf.Next(w.Rng), 1)
+				}
+			})
+			gate.Exit()
+		default:
+			gate.Enter()
+			sys.Atomic(tx, func(tx T) { m.Put(tx, key, w.Rng.Uint64()) })
+			gate.Exit()
+		}
+	}
+}
+
 // Worker aliases harness.Worker so Op's signature reads naturally.
 type Worker = harness.Worker
 

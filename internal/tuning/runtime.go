@@ -65,13 +65,21 @@ type Event struct {
 	Budget        int
 	NextBudget    int
 	BudgetChanged bool
+	// AdmWidth is the update-admission gate width live during the period
+	// and NextAdmWidth the one installed for the following one
+	// (AdmChanged marks a move). Only meaningful with the admission
+	// controller enabled (RuntimeConfig.Admission.Enable).
+	AdmWidth     int
+	NextAdmWidth int
+	AdmChanged   bool
 	// Err reports a failed Reconfigure (the system keeps its previous
 	// parameters; the tuner's memory still records the move). CMErr
-	// reports a failed SetCM and SnapErr a failed SetVersionBudget
-	// likewise.
+	// reports a failed SetCM, SnapErr a failed SetVersionBudget and
+	// AdmErr a failed SetWidth likewise.
 	Err     error
 	CMErr   error
 	SnapErr error
+	AdmErr  error
 }
 
 // String renders one trace line ("cfg → tp via move").
@@ -95,6 +103,12 @@ func (e Event) String() string {
 		}
 		if e.BudgetChanged {
 			s += fmt.Sprintf(", version budget %d -> %d (%d too-old)", e.Budget, e.NextBudget, e.SnapTooOld)
+		}
+		if e.AdmChanged {
+			s += fmt.Sprintf(", admission %d -> %d", e.AdmWidth, e.NextAdmWidth)
+		}
+		if e.AdmErr != nil {
+			s += fmt.Sprintf(" (admission move failed: %v)", e.AdmErr)
 		}
 		return s
 	}
@@ -142,6 +156,14 @@ type RuntimeConfig struct {
 	// snapshot-too-old aborts and sidecar reads and walks the per-shard
 	// version budget so buffer memory tracks the live read/write mix.
 	Snapshot SnapshotConfig
+
+	// Admission configures the proactive admission-control controller.
+	// With Admission.Enable, Admission.Gate must carry the live
+	// update-admission token bucket (it is not part of the System): each
+	// period the controller reads the same abort-ratio measurement and
+	// walks the gate's width — shrink when aborts climb, probe wider
+	// when calm.
+	Admission AdmissionConfig
 
 	// Now and After inject a clock for deterministic tests. Defaults:
 	// time.Now and time.After.
@@ -204,6 +226,11 @@ type Runtime struct {
 	// too-old/read baselines live in the controller goroutine.
 	snapSys SnapshotSystem
 	snapT   *snapTuner
+
+	// Admission-width controller (nil when disabled): admGate is the
+	// server's token bucket, admT the rule engine.
+	admGate AdmissionGate
+	admT    *admTuner
 }
 
 // NewRuntime builds a controller over sys. The tuner starts at
@@ -227,6 +254,10 @@ func NewRuntime(sys System, cfg RuntimeConfig) *Runtime {
 		r.snapSys = ss
 		r.snapT = newSnapTuner(cfg.Snapshot, ss.VersionBudget())
 	}
+	if cfg.Admission.Enable && cfg.Admission.Gate != nil {
+		r.admGate = cfg.Admission.Gate
+		r.admT = newAdmTuner(cfg.Admission, r.admGate.Width())
+	}
 	return r
 }
 
@@ -247,6 +278,10 @@ func (r *Runtime) Start() error {
 	if r.cfg.Snapshot.Enable && r.snapSys == nil {
 		r.mu.Unlock()
 		return fmt.Errorf("tuning: snapshot controller enabled but the system has no MVCC sidecar (SnapshotSystem with Snapshots on)")
+	}
+	if r.cfg.Admission.Enable && r.admGate == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("tuning: admission controller enabled but AdmissionConfig.Gate is nil")
 	}
 	// Claim the start before the unlocked Reconfigure below: a concurrent
 	// Start must fail here rather than race in — its stale Reconfigure
@@ -379,6 +414,28 @@ func (r *Runtime) VersionBudget() int {
 	return r.snapT.budget
 }
 
+// AdmissionMoves returns how many gate-width moves the admission
+// controller decided (zero when disabled).
+func (r *Runtime) AdmissionMoves() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.admT == nil {
+		return 0
+	}
+	return r.admT.switches()
+}
+
+// AdmissionWidth returns the gate width the admission controller
+// believes is installed (zero when disabled).
+func (r *Runtime) AdmissionWidth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.admT == nil {
+		return 0
+	}
+	return r.admT.width
+}
+
 // Trace returns a copy of the per-period event log (the most recent
 // TraceCap events when a cap is configured).
 func (r *Runtime) Trace() []Event {
@@ -458,6 +515,9 @@ func (r *Runtime) step(maxTp float64, commits, aborts, snapTooOld, snapReads uin
 		ev.SnapTooOld, ev.SnapReads = snapTooOld, snapReads
 		ev.Budget, ev.NextBudget = r.snapT.budget, r.snapT.budget
 	}
+	if r.admT != nil {
+		ev.AdmWidth, ev.NextAdmWidth = r.admT.width, r.admT.width
+	}
 	r.periods++
 	if commits < r.cfg.MinPeriodCommits {
 		// Pause on idle: hold the configuration and teach the tuner
@@ -490,6 +550,12 @@ func (r *Runtime) step(maxTp float64, commits, aborts, snapTooOld, snapReads uin
 		// move restores, and the knob applies with no world freeze.
 		ev.NextBudget, ev.BudgetChanged = r.snapT.step(snapTooOld, snapReads)
 	}
+	if r.admT != nil {
+		// The admission controller walks the gate width from the same
+		// abort-ratio measurement; the gate lives outside the STM, so
+		// the move needs no world freeze either.
+		ev.NextAdmWidth, ev.AdmChanged = r.admT.step(commits, aborts)
+	}
 	r.mu.Unlock()
 
 	// Reconfigure outside r.mu: it freezes the world and can block behind
@@ -509,6 +575,11 @@ func (r *Runtime) step(maxTp float64, commits, aborts, snapTooOld, snapReads uin
 			ev.SnapErr = err
 		}
 	}
+	if ev.AdmChanged {
+		if err := r.admGate.SetWidth(ev.NextAdmWidth); err != nil {
+			ev.AdmErr = err
+		}
+	}
 	r.mu.Lock()
 	if ev.CMSwitched {
 		if ev.CMErr == nil {
@@ -524,6 +595,11 @@ func (r *Runtime) step(maxTp float64, commits, aborts, snapTooOld, snapReads uin
 		// whatever the system actually runs.
 		r.snapT.budget = r.snapSys.VersionBudget()
 		r.snapT.moves--
+	}
+	if ev.AdmChanged && ev.AdmErr != nil {
+		// The width never landed: resynchronize with the live gate.
+		r.admT.width = r.admGate.Width()
+		r.admT.moves--
 	}
 	r.appendTrace(ev)
 	r.mu.Unlock()

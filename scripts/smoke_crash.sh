@@ -1,25 +1,50 @@
 #!/usr/bin/env bash
 # smoke_crash.sh — crash-durability smoke: boot stmkvd with -durability
-# group, drive open-loop traffic plus a tracker that records every PUT the
+# group, drive open-loop traffic over BOTH wire surfaces (HTTP and the
+# pipelined binary protocol) plus a tracker that records every PUT the
 # server ACKED, kill -9 the daemon mid-run, restart it on the same WAL
 # directory, and assert (a) every acked write is readable again — zero
 # acked-write loss, (b) /stats shows the recovery actually replayed the
-# log, and (c) the load generator rode through the outage on its retry
-# policy. CI runs this on every push; locally: ./scripts/smoke_crash.sh [bindir]
+# log, and (c) both load generators rode through the outage on their retry
+# policies. The binary leg matters for durability: a pipelined connection
+# must never see an ack before the commit's WAL ticket resolves, and the
+# restart proves acked pipelined writes were really on disk. CI runs this
+# on every push; locally: ./scripts/smoke_crash.sh [bindir]
 set -euo pipefail
 
 BIN="${1:-bin}"
-ADDR="127.0.0.1:18081"
-BASE="http://$ADDR"
 WAL="$(mktemp -d)"
 LOG="$(mktemp)"
 GENLOG="$(mktemp)"
+BGENLOG="$(mktemp)"
 ACKED="$(mktemp)"
 
+# First boot binds ephemeral ports; parse_addrs pins them so the restart
+# reuses the same concrete addresses (the generators retry against them).
+HTTP_ADDR="127.0.0.1:0"
+PROTO_ADDR="127.0.0.1:0"
+
 start_server() {
-  "$BIN/stmkvd" -addr "$ADDR" -durability group -wal-dir "$WAL" \
+  "$BIN/stmkvd" -addr "$HTTP_ADDR" -proto-addr "$PROTO_ADDR" \
+    -durability group -wal-dir "$WAL" \
     -period 200ms -samples 1 >>"$LOG" 2>&1 &
   SRV=$!
+}
+
+parse_addrs() {
+  for i in $(seq 1 100); do
+    HTTP_ADDR="$(sed -n 's/^stmkvd: http listening on //p' "$LOG" | head -1)"
+    PROTO_ADDR="$(sed -n 's/^stmkvd: proto listening on //p' "$LOG" | head -1)"
+    if [ -n "$HTTP_ADDR" ] && [ -n "$PROTO_ADDR" ]; then
+      BASE="http://$HTTP_ADDR"
+      return 0
+    fi
+    if ! kill -0 "$SRV" 2>/dev/null; then
+      echo "stmkvd died at startup"; cat "$LOG"; exit 1
+    fi
+    sleep 0.1
+  done
+  echo "server never logged its bound addresses"; cat "$LOG"; exit 1
 }
 
 wait_ready() {
@@ -35,6 +60,7 @@ wait_ready() {
 
 start_server
 trap 'kill -9 $SRV 2>/dev/null || true; cat "$LOG"' EXIT
+parse_addrs
 wait_ready
 
 # Open-loop load in the background; its capped-backoff retry window
@@ -42,6 +68,15 @@ wait_ready
 "$BIN/stmkv-loadgen" -addr "$BASE" -rate 1000 -duration 8s -workers 8 \
   -keys 1024 -theta 0.9 -min-ops 3000 >"$GENLOG" 2>&1 &
 GEN=$!
+
+# Same shape over the pipelined binary protocol: acks on this connection
+# are only sent after the server's store call returns, which itself
+# blocks on the commit's WAL ticket — so every completed op here was
+# durable before its response frame was written.
+"$BIN/stmkv-loadgen" -addr "$PROTO_ADDR" -proto binary -conns 2 \
+  -rate 1000 -duration 8s -workers 8 \
+  -keys 1024 -theta 0.9 -min-ops 3000 >"$BGENLOG" 2>&1 &
+BGEN=$!
 
 # Tracker: sequential PUTs in a keyspace far above the generator's. A key
 # is recorded as acked only AFTER its 200 came back, so the recorded set
@@ -84,10 +119,13 @@ while read -r k v; do
   esac
 done <"$ACKED"
 
-# (c) The generator outlived the restart on retries alone.
-wait "$GEN" || { echo "loadgen failed across the restart:"; cat "$GENLOG"; exit 1; }
+# (c) Both generators outlived the restart on retries alone.
+wait "$GEN" || { echo "HTTP loadgen failed across the restart:"; cat "$GENLOG"; exit 1; }
 grep -Eo 'retries=[0-9]+' "$GENLOG" | grep -qv 'retries=0$' \
-  || { echo "loadgen reports zero retries — did the kill land mid-run?"; cat "$GENLOG"; exit 1; }
+  || { echo "HTTP loadgen reports zero retries — did the kill land mid-run?"; cat "$GENLOG"; exit 1; }
+wait "$BGEN" || { echo "binary loadgen failed across the restart:"; cat "$BGENLOG"; exit 1; }
+grep -Eo 'retries=[0-9]+' "$BGENLOG" | grep -qv 'retries=0$' \
+  || { echo "binary loadgen reports zero retries — did the kill land mid-run?"; cat "$BGENLOG"; exit 1; }
 
 # (b) /stats tells the recovery story.
 STATS="$(curl -sf "$BASE/stats")"
@@ -100,11 +138,15 @@ assert d["state"] == "ready", f"state {d['state']}"
 rec = d["recovery"]
 assert rec["records"] >= n_acked, f"replayed {rec['records']} records < {n_acked} acked"
 assert "error" not in rec, f"recovery error: {rec}"
+proto = stats["proto"]
+assert proto["ops"] > 0, f"no binary-protocol ops reached the restarted server: {proto}"
+assert proto["bad_frames"] == 0, f"binary listener saw malformed frames: {proto}"
 print(f"crash smoke ok: {n_acked} acked tracker writes survived kill -9; "
       f"recovery replayed {rec['records']} records / {rec['ops']} ops "
       f"(torn_bytes={rec['torn_bytes']}, checkpoint_found={rec['checkpoint_found']})")
 PY
 cat "$GENLOG"
+cat "$BGENLOG"
 
 kill "$SRV"
 wait "$SRV" 2>/dev/null || true

@@ -8,13 +8,23 @@
 set -euo pipefail
 
 BIN="${1:-bin}"
-ADDR="127.0.0.1:18080"
-BASE="http://$ADDR"
 LOG="$(mktemp)"
 
-"$BIN/stmkvd" -addr "$ADDR" -period 200ms -samples 1 -geometry 2^8,0,1 >"$LOG" 2>&1 &
+# Ephemeral port: the daemon binds :0 and logs the concrete address, so
+# parallel CI jobs (and local runs next to a real server) never collide.
+"$BIN/stmkvd" -addr 127.0.0.1:0 -period 200ms -samples 1 -geometry 2^8,0,1 >"$LOG" 2>&1 &
 SRV=$!
 trap 'kill $SRV 2>/dev/null || true; cat "$LOG"' EXIT
+
+ADDR=""
+for i in $(seq 1 100); do
+  ADDR="$(sed -n 's/^stmkvd: http listening on //p' "$LOG" | head -1)"
+  if [ -n "$ADDR" ]; then break; fi
+  if ! kill -0 $SRV 2>/dev/null; then echo "stmkvd died at startup"; exit 1; fi
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server never logged its bound address"; exit 1; }
+BASE="http://$ADDR"
 
 # Wait for the server to come up.
 for i in $(seq 1 50); do
