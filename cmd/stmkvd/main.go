@@ -20,8 +20,10 @@
 // listening on ..." so scripts can parse them.
 //
 // Endpoints: GET/PUT/DELETE /kv/{key}, POST /kv/{key}/cas, POST
-// /kv/{key}/add, POST /batch, GET /stats, GET /tuning, GET /healthz,
-// GET /readyz. Keys and values are uint64; see internal/kvserver for wire
+// /kv/{key}/add, POST /batch, GET /stats, GET /tuning, GET /metrics
+// (Prometheus text format), GET /debug/txtrace (sampled transaction
+// flight recorder), GET /healthz, GET /readyz. Keys and values are
+// uint64; see internal/kvserver for wire
 // formats. The binary surface (-proto-addr) carries the same operations
 // over the kvproto framing, pipelined; see internal/kvproto. Drive either
 // with cmd/stmkv-loadgen and watch /tuning re-adapt.
@@ -35,6 +37,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -75,6 +78,8 @@ func main() {
 		walDir    = flag.String("wal-dir", "", "write-ahead-log directory (segments and checkpoints)")
 		walBatch  = flag.Duration("wal-batch", 0, "WAL group-commit batch delay (0 = flush immediately)")
 		ckptEvry  = flag.Duration("checkpoint-every", 30*time.Second, "snapshot-checkpoint period for WAL truncation (0 = never)")
+		txTrace   = flag.Int("txtrace", 0, "flight-recorder sampling: trace one transaction in N (0 = default 64, negative = off)")
+		debugAddr = flag.String("debug-addr", "", "separate net/http/pprof listen address (empty = no pprof)")
 	)
 	flag.Parse()
 
@@ -122,6 +127,7 @@ func main() {
 		WALDir:           *walDir,
 		WALBatch:         *walBatch,
 		CheckpointEvery:  *ckptEvry,
+		TxTraceEvery:     *txTrace,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -137,6 +143,28 @@ func main() {
 				log.Fatalf("wal recovery failed: %v", err)
 			}
 			log.Printf("wal recovery complete, serving (mode=%s dir=%s)", dmode, *walDir)
+		}()
+	}
+
+	if *debugAddr != "" {
+		// pprof on its own listener: profiling stays off the data port
+		// (and off the data port's lifecycle gate) so it can never be
+		// exposed by accident, only by flag.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("pprof listening on %s", dl.Addr())
+		go func() {
+			if err := http.Serve(dl, dmux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof listener: %v", err)
+			}
 		}()
 	}
 
@@ -196,6 +224,14 @@ func main() {
 		log.Printf("tuner: best=%v at %.0f txs/s over %d periods", best, tp, len(rt.Trace()))
 		for _, ev := range rt.Trace() {
 			fmt.Println("  " + ev.String())
+		}
+	}
+	// Flight-recorder tail: the last sampled transactions before shutdown
+	// (crash forensics for the run that just ended).
+	if evs := srv.TxTrace(16); len(evs) > 0 {
+		log.Printf("txtrace: last %d sampled transactions:", len(evs))
+		for _, e := range evs {
+			fmt.Println("  " + e.String())
 		}
 	}
 	srv.Close()

@@ -46,6 +46,7 @@ var allowedLayers = map[string]bool{
 	"cm":      true, // contention managers
 	"tuning":  true, // online tuning loop
 	"mem":     true, // transactional arena allocator
+	"obs":     true, // observability: lock-free histograms, seqlock ring, registry
 }
 
 func run(pass *framework.Pass) error {

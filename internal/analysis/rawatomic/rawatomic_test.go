@@ -8,5 +8,5 @@ import (
 )
 
 func TestRawAtomic(t *testing.T) {
-	analysistest.Run(t, "testdata", rawatomic.Analyzer, "app", "core")
+	analysistest.Run(t, "testdata", rawatomic.Analyzer, "app", "core", "obs")
 }

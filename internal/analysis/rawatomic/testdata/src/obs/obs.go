@@ -1,0 +1,21 @@
+// Package obs carries the name of the observability layer: lock-free
+// histograms and the seqlock ring ARE atomics by design, so — like the
+// STM runtime layers — nothing here is flagged.
+package obs
+
+import "sync/atomic"
+
+type histogram struct {
+	counts [8]atomic.Uint64
+	max    atomic.Uint64
+}
+
+func (h *histogram) record(v uint64) {
+	h.counts[v&7].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

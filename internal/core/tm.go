@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tinystm/internal/cm"
 	"tinystm/internal/mem"
 	"tinystm/internal/mvcc"
+	"tinystm/internal/obs"
 	"tinystm/internal/reclaim"
 	"tinystm/internal/txn"
 )
@@ -54,6 +56,12 @@ type TM struct {
 	// no durability layer is attached. Descriptors load it once per
 	// update commit and call it while their write locks are held.
 	redoHook redoHookPtr
+
+	// obsHook is the installed observability sink (SetObs); nil when the
+	// layer is not attached. The atomic retry loop loads it once per
+	// block — disabled instrumentation costs one pointer load and a
+	// predictable branch.
+	obsHook atomic.Pointer[obs.TMObs]
 
 	// cmh holds the active contention-management policy behind one
 	// pointer load; descriptors pin it per attempt at Begin (like geo),
@@ -207,6 +215,15 @@ func (tm *TM) Clock() ClockStrategy { return tm.clockStrat }
 // CM returns the active contention-management policy kind.
 func (tm *TM) CM() cm.Kind { return tm.policy().Kind() }
 
+// SetObs installs (or, with nil, detaches) the observability sink:
+// commit/abort duration histograms plus the sampled flight recorder.
+// Safe on a live TM; blocks that already loaded the previous hook finish
+// under it.
+func (tm *TM) SetObs(o *obs.TMObs) { tm.obsHook.Store(o) }
+
+// Obs returns the installed observability sink, nil when detached.
+func (tm *TM) Obs() *obs.TMObs { return tm.obsHook.Load() }
+
 // SetCM switches the contention-management policy of a live TM. Unlike
 // Reconfigure it needs no world freeze: descriptors pin the policy per
 // attempt at Begin, detach from the old instance (releasing any held
@@ -325,23 +342,96 @@ func (tm *TM) atomic(tx *Tx, fn func(*Tx), ro bool) {
 		fn(tx)
 		return
 	}
+	o := tm.obsHook.Load()
+	if o == nil {
+		// Uninstrumented fast path: no clock reads, no sampling draw.
+		tx.attempts = 0
+		tx.upgr = false
+		for {
+			tx.attempts++
+			tx.maybeRollOverOnBegin()
+			tx.Begin(ro && !tx.upgr)
+			if tx.attempts == 1 {
+				tx.pol.OnStart(&tx.cmst)
+			}
+			if tx.runBody(fn) && tx.Commit() {
+				tx.pol.OnCommit(&tx.cmst)
+				return
+			}
+			// The attempt failed and rolled back (NoteAbort already
+			// accrued its work as priority); the policy may block here —
+			// backoff spinning, or waiting for the serialization token.
+			tx.pol.OnAbort(&tx.cmst)
+		}
+	}
+	tm.atomicObserved(tx, fn, ro, o)
+}
+
+// atomicObserved is the instrumented twin of the atomic retry loop: it
+// times every attempt into the commit/abort histograms and, for sampled
+// blocks, emits the begin/retry/abort/commit event trace.
+func (tm *TM) atomicObserved(tx *Tx, fn func(*Tx), ro bool, o *obs.TMObs) {
+	sampled := o.SampleTx()
 	tx.attempts = 0
 	tx.upgr = false
 	for {
 		tx.attempts++
+		if sampled {
+			tm.traceAttempt(tx, o)
+		}
+		t0 := time.Now()
 		tx.maybeRollOverOnBegin()
 		tx.Begin(ro && !tx.upgr)
 		if tx.attempts == 1 {
 			tx.pol.OnStart(&tx.cmst)
 		}
 		if tx.runBody(fn) && tx.Commit() {
+			d := uint64(time.Since(t0))
+			o.OnCommit(d)
+			if sampled {
+				tm.traceOutcome(tx, o, obs.EvCommit, 0, d)
+			}
 			tx.pol.OnCommit(&tx.cmst)
 			return
 		}
-		// The attempt failed and rolled back (NoteAbort already accrued
-		// its work as priority); the policy may block here — backoff
-		// spinning, or waiting for the serialization token.
+		d := uint64(time.Since(t0))
+		o.OnAbort(d, tx.lastAbort)
+		if sampled {
+			tm.traceOutcome(tx, o, obs.EvAbort, tx.lastAbort, d)
+		}
 		tx.pol.OnAbort(&tx.cmst)
+	}
+}
+
+// traceAttempt emits the begin (first attempt) or retry event for a
+// sampled atomic block.
+func (tm *TM) traceAttempt(tx *Tx, o *obs.TMObs) {
+	kind := obs.EvRetry
+	if tx.attempts == 1 {
+		kind = obs.EvBegin
+	}
+	o.Trace(tm.baseEvent(tx, kind))
+}
+
+// traceOutcome emits the abort or commit event closing one attempt.
+func (tm *TM) traceOutcome(tx *Tx, o *obs.TMObs, kind obs.EventKind, cause txn.AbortKind, durNs uint64) {
+	e := tm.baseEvent(tx, kind)
+	e.Cause = cause
+	e.DurNs = durNs
+	o.Trace(e)
+}
+
+func (tm *TM) baseEvent(tx *Tx, kind obs.EventKind) obs.Event {
+	p := tm.geo.Load().params()
+	return obs.Event{
+		TimeUnixNano: time.Now().UnixNano(),
+		Kind:         kind,
+		CM:           tm.CM(),
+		Slot:         uint32(tx.slot),
+		Attempt:      uint32(tx.attempts),
+		Locks:        p.Locks,
+		Shifts:       uint32(p.Shifts),
+		Hier:         p.Hier,
 	}
 }
 

@@ -150,7 +150,11 @@ type Tx struct {
 	pubSeen map[mem.Addr]struct{}
 
 	attempts int // retries of the current atomic block (for backoff)
-	rng      uint64
+	// lastAbort classifies the most recent rollback, read by the atomic
+	// retry loop's instrumentation to bucket the failed attempt's
+	// duration by cause.
+	lastAbort txn.AbortKind
+	rng       uint64
 
 	// Contention management: cmst is this descriptor's policy-visible
 	// state (priority, age, kill requests — competitors read it through
@@ -338,6 +342,7 @@ func (tx *Tx) rollback(kind txn.AbortKind) {
 	}
 	tx.stats.aborts.Add(1)
 	tx.stats.abortsByKind[kind].Add(1)
+	tx.lastAbort = kind
 	tx.tm.aggAborts.Add(1)
 	if kind == txn.AbortSnapshotTooOld {
 		tx.tm.aggSnapTooOld.Add(1)

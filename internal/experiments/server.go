@@ -9,6 +9,7 @@ import (
 	"tinystm/internal/harness"
 	"tinystm/internal/kvstore"
 	"tinystm/internal/mem"
+	"tinystm/internal/obs"
 	"tinystm/internal/tuning"
 )
 
@@ -172,6 +173,10 @@ func runServerPoint(sc Scale, cfg ServerConfig, geo core.Params, autotune bool) 
 		}()
 	}
 
+	// One histogram serves both readers: OpenLoop summarizes the run from
+	// it, and the autotuned run's tuning events carry its per-period
+	// p50/p99 deltas — the same numbers, not two measurements.
+	lat := obs.NewHistogram()
 	var rt *tuning.Runtime
 	if autotune {
 		admCfg := tuning.AdmissionConfig{Enable: cfg.TuneAdmission && gate != nil}
@@ -183,6 +188,7 @@ func runServerPoint(sc Scale, cfg ServerConfig, geo core.Params, autotune bool) 
 			Period:    cfg.Period,
 			Samples:   cfg.Samples,
 			Admission: admCfg,
+			Latency:   lat,
 		})
 		if err := rt.Start(); err != nil {
 			panic(fmt.Sprintf("experiments: server sweep autotune start: %v", err))
@@ -192,7 +198,8 @@ func runServerPoint(sc Scale, cfg ServerConfig, geo core.Params, autotune bool) 
 	before := tm.Stats()
 	load := harness.OpenLoop{
 		Rate: cfg.Rate, Duration: cfg.Duration, Workers: cfg.Workers, Seed: cfg.Seed,
-		NewOp: harness.TxOp[*core.Tx](tm, phased.Op()),
+		Latency: lat,
+		NewOp:   harness.TxOp[*core.Tx](tm, phased.Op()),
 	}.Run()
 	var events []tuning.Event
 	if rt != nil {

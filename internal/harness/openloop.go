@@ -1,10 +1,10 @@
 package harness
 
 import (
-	"sort"
 	"sync"
 	"time"
 
+	"tinystm/internal/obs"
 	"tinystm/internal/rng"
 	"tinystm/internal/txn"
 )
@@ -32,6 +32,11 @@ type OpenLoop struct {
 	Queue int
 	// Seed derives each worker's private generator.
 	Seed uint64
+	// Latency, when non-nil, receives every request's arrival-to-
+	// completion latency (nanoseconds) instead of a private histogram —
+	// pass the server's own request histogram to measure client-observed
+	// and server-observed latency on one instrument.
+	Latency *obs.Histogram
 	// NewOp builds one worker's request function and an optional cleanup
 	// run when the worker exits. The error return counts failed requests
 	// (e.g. HTTP errors); transactional ops that cannot fail return nil.
@@ -55,9 +60,12 @@ type OpenLoopResult struct {
 	// must rank by, since refusing work raises Throughput's denominator
 	// without serving anyone.
 	Goodput float64
-	// Latency percentiles measured from scheduled arrival to completion,
-	// so queueing delay is included (the open-loop convention; a closed
-	// loop's "service time only" latency hides overload entirely).
+	// Latency is the run's histogram snapshot (nanoseconds), measured
+	// from scheduled arrival to completion so queueing delay is included
+	// (the open-loop convention; a closed loop's "service time only"
+	// latency hides overload entirely). The convenience quantiles below
+	// are read from it; Latency.Quantile serves any other.
+	Latency            obs.Snapshot
 	P50, P95, P99, Max time.Duration
 }
 
@@ -88,12 +96,20 @@ func (o OpenLoop) Run() OpenLoopResult {
 	if queue <= 0 {
 		queue = 4 * o.Workers
 	}
+	hist := o.Latency
+	var base obs.Snapshot
+	if hist == nil {
+		hist = obs.NewHistogram()
+	} else {
+		// Shared instrument: report only this run's delta.
+		base = hist.Snapshot()
+	}
 
 	arrivals := make(chan time.Time, queue)
 	var res OpenLoopResult
-	//stm:allow-atomic merges per-worker measurement slices; not STM-managed state
-	var mu sync.Mutex // guards the merged latency slice and error count
-	var lats []time.Duration
+	//stm:allow-atomic merges per-worker error counts; not STM-managed state
+	var mu sync.Mutex
+	var errors uint64
 
 	var wg sync.WaitGroup
 	for i := 0; i < o.Workers; i++ {
@@ -105,19 +121,17 @@ func (o OpenLoop) Run() OpenLoopResult {
 			if cleanup != nil {
 				defer cleanup()
 			}
-			local := make([]time.Duration, 0, 1024)
 			var errs uint64
 			for at := range arrivals {
 				err := op(w)
 				w.Ops++
-				local = append(local, time.Since(at))
+				hist.Record(uint64(time.Since(at)))
 				if err != nil {
 					errs++
 				}
 			}
 			mu.Lock()
-			lats = append(lats, local...)
-			res.Errors += errs
+			errors += errs
 			mu.Unlock()
 		}(i)
 	}
@@ -147,26 +161,19 @@ func (o OpenLoop) Run() OpenLoopResult {
 	wg.Wait()
 	res.Elapsed = time.Since(start)
 
-	res.Completed = uint64(len(lats))
+	cur := hist.Snapshot()
+	res.Latency = cur.Sub(&base)
+	res.Errors = errors
+	res.Completed = res.Latency.Count
 	if secs := res.Elapsed.Seconds(); secs > 0 {
 		res.Throughput = float64(res.Completed) / secs
 		res.Goodput = float64(res.Completed-res.Errors) / secs
 	}
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		res.P50 = percentile(lats, 0.50)
-		res.P95 = percentile(lats, 0.95)
-		res.P99 = percentile(lats, 0.99)
-		res.Max = lats[len(lats)-1]
+	if res.Latency.Count > 0 {
+		res.P50 = time.Duration(res.Latency.Quantile(0.50))
+		res.P95 = time.Duration(res.Latency.Quantile(0.95))
+		res.P99 = time.Duration(res.Latency.Quantile(0.99))
+		res.Max = time.Duration(res.Latency.Max)
 	}
 	return res
-}
-
-// percentile reads the p-quantile from a sorted latency slice.
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(p * float64(len(sorted)-1))
-	return sorted[i]
 }

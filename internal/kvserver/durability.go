@@ -95,6 +95,14 @@ type durability struct {
 	ckptLastErr error
 }
 
+// walLog returns the open log, or nil before recovery finishes (or when
+// durability is off/failed).
+func (d *durability) walLog() *wal.Log {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log
+}
+
 // walSink adapts the log's tickets to the store's DurabilitySink.
 type walSink struct{ log *wal.Log }
 
@@ -162,6 +170,8 @@ func (s *Server) recover() {
 		SegmentBytes: s.cfg.WALSegmentBytes,
 		BatchDelay:   s.cfg.WALBatch,
 		OnError:      s.degrade,
+		FlushNs:      s.met.walFlushNs,
+		BatchOps:     s.met.walBatchOps,
 	})
 	if err != nil {
 		fail(err)

@@ -1,0 +1,339 @@
+// The server's observability face: one obs.Registry exposing every layer
+// — STM commit/abort histograms split by cause, per-op request latency on
+// both surfaces, WAL flush latency and batch sizes, admission gate state
+// and wait time, per-shard heat, durability lifecycle — plus the sampled
+// transaction flight recorder behind /debug/txtrace.
+package kvserver
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"tinystm/internal/kvproto"
+	"tinystm/internal/obs"
+	"tinystm/internal/txn"
+	"tinystm/internal/wal"
+)
+
+// Request surfaces and op kinds label the request-latency histograms.
+const (
+	surfHTTP = iota
+	surfProto
+	nSurfaces
+)
+
+var surfaceNames = [nSurfaces]string{"http", "proto"}
+
+const (
+	mopGet = iota
+	mopPut
+	mopDelete
+	mopCAS
+	mopAdd
+	mopBatch
+	mopScan
+	nReqOps
+)
+
+var reqOpNames = [nReqOps]string{"get", "put", "delete", "cas", "add", "batch", "scan"}
+
+// txTraceDefaultEvery is the default flight-recorder sampling rate (one
+// atomic block in N); txTraceCap the retained event window.
+const (
+	txTraceDefaultEvery = 64
+	txTraceCap          = 4096
+)
+
+// metrics bundles the server's instruments and their registry. Everything
+// the hot paths touch (histograms, recorder, heat) is lock-free; the
+// counters and gauges rendered from other layers' state are read at
+// scrape time through the OnScrape cache below.
+type metrics struct {
+	reg *obs.Registry
+
+	// reqAll aggregates every data request across both surfaces — the
+	// histogram the tuning runtime differences per period; req splits
+	// the same observations by surface and op for exposition.
+	reqAll *obs.Histogram
+	req    [nSurfaces][nReqOps]*obs.Histogram
+
+	admWaitNs   *obs.Histogram
+	walFlushNs  *obs.Histogram
+	walBatchOps *obs.Histogram
+
+	tmObs *obs.TMObs
+	rec   *obs.Recorder
+	heat  *obs.ShardHeat
+
+	// Scrape-time caches, refreshed by the registry's OnScrape hook.
+	// Hook and render both run under the registry mutex, so every
+	// CounterFunc/GaugeFunc below reads one consistent snapshot instead
+	// of re-walking the TM's descriptor table per sample.
+	st       txn.Stats
+	tooOld   uint64
+	walStats wal.Stats
+}
+
+// newMetrics builds every instrument and registers the full metric set.
+// Called from New before the tuning runtime (which borrows reqAll).
+func newMetrics(s *Server) *metrics {
+	m := &metrics{reg: obs.NewRegistry(), reqAll: obs.NewHistogram()}
+	every := uint64(txTraceDefaultEvery)
+	switch {
+	case s.cfg.TxTraceEvery > 0:
+		every = uint64(s.cfg.TxTraceEvery)
+	case s.cfg.TxTraceEvery < 0:
+		every = 0 // recorder disabled
+	}
+	if every > 0 {
+		m.rec = obs.NewRecorder(txTraceCap, every)
+	}
+	m.tmObs = obs.NewTMObs(m.rec)
+	m.heat = obs.NewShardHeat(int(s.cfg.Shards))
+	m.admWaitNs = obs.NewHistogram()
+	m.walFlushNs = obs.NewHistogram()
+	m.walBatchOps = obs.NewHistogram()
+
+	m.reg.OnScrape(func() {
+		m.st = s.tm.Stats()
+		m.tooOld, _, _, _ = s.tm.SnapshotCounts()
+		if log := s.dur.walLog(); log != nil {
+			m.walStats = log.Stats()
+		}
+	})
+
+	lat := obs.LatencyBounds()
+
+	// --- STM ---
+	m.reg.CounterFunc("stm_commits_total", "Committed transactions.", nil,
+		func() float64 { return float64(m.st.Commits) })
+	m.reg.CounterFunc("stm_extensions_total", "Successful snapshot extensions.", nil,
+		func() float64 { return float64(m.st.Extensions) })
+	m.reg.CounterFunc("stm_rollovers_total", "Clock roll-over freezes.", nil,
+		func() float64 { return float64(m.st.RollOvers) })
+	m.reg.CounterFunc("stm_reconfigs_total", "Dynamic lock-table reconfigurations.", nil,
+		func() float64 { return float64(m.st.Reconfigs) })
+	m.reg.CounterFunc("stm_cm_switches_total", "Live contention-management policy switches.", nil,
+		func() float64 { return float64(m.st.CMSwitches) })
+	m.reg.Histogram("stm_commit_seconds", "Duration of committed transaction attempts.", nil,
+		m.tmObs.CommitNs, 1e-9, lat)
+	for k := 0; k < txn.NAbortKinds; k++ {
+		kind := txn.AbortKind(k)
+		m.reg.CounterFunc("stm_aborts_total", "Aborted transaction attempts by cause.",
+			obs.Labels{"cause": kind.String()},
+			func() float64 { return float64(m.st.AbortsByKind[kind]) })
+		m.reg.Histogram("stm_abort_seconds", "Duration of aborted transaction attempts by cause.",
+			obs.Labels{"cause": kind.String()}, m.tmObs.AbortNs[kind], 1e-9, lat)
+	}
+
+	// --- MVCC snapshot sidecar ---
+	m.reg.CounterFunc("stm_snapshot_too_old_total", "Snapshot reads aborted because their versions were trimmed.", nil,
+		func() float64 { return float64(m.tooOld) })
+	m.reg.CounterFunc("stm_snapshot_reads_live_total", "Snapshot-mode reads served from live memory.", nil,
+		func() float64 { return float64(m.st.SnapshotLiveReads) })
+	m.reg.CounterFunc("stm_snapshot_reads_sidecar_total", "Snapshot-mode reads served from retained versions.", nil,
+		func() float64 { return float64(m.st.SnapshotVersionReads) })
+	m.reg.CounterFunc("stm_versions_published_total", "Pre-images delivered to the MVCC sidecar.", nil,
+		func() float64 { return float64(m.st.VersionsPublished) })
+	m.reg.CounterFunc("stm_versions_trimmed_total", "Versions evicted from the MVCC sidecar.", nil,
+		func() float64 { return float64(m.st.VersionsTrimmed) })
+	m.reg.GaugeFunc("stm_version_budget", "Per-shard retained-version budget (0 when snapshots are off).", nil,
+		func() float64 { return float64(s.tm.VersionBudget()) })
+
+	// --- Requests ---
+	for surf := 0; surf < nSurfaces; surf++ {
+		for op := 0; op < nReqOps; op++ {
+			m.req[surf][op] = obs.NewHistogram()
+			m.reg.Histogram("stmkvd_request_seconds", "Data-request latency by surface and op.",
+				obs.Labels{"surface": surfaceNames[surf], "op": reqOpNames[op]},
+				m.req[surf][op], 1e-9, lat)
+		}
+	}
+
+	// --- Store ---
+	m.reg.GaugeFunc("stmkvd_keys", "Live keys in the store.", nil,
+		func() float64 { return float64(s.store.Len()) })
+	m.reg.GaugeFunc("stmkvd_uptime_seconds", "Seconds since the server booted.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	for i := 0; i < m.heat.Shards(); i++ {
+		sh := i
+		ls := obs.Labels{"shard": strconv.Itoa(sh)}
+		m.reg.CounterFunc("stmkvd_shard_ops_total", "Completed single-key operations per store shard.", ls,
+			func() float64 { return float64(m.heat.Ops(sh)) })
+		m.reg.CounterFunc("stmkvd_shard_aborts_total", "Transaction retries per store shard (heat map).", ls,
+			func() float64 { return float64(m.heat.Aborts(sh)) })
+	}
+
+	// --- Admission gate (zero-valued series when disabled) ---
+	m.reg.GaugeFunc("stmkvd_admission_width", "Update-admission gate width (0: gate disabled).", nil,
+		func() float64 { return float64(s.admissionWidth()) })
+	m.reg.GaugeFunc("stmkvd_admission_inflight", "Update transactions currently admitted.", nil,
+		func() float64 {
+			if s.gate == nil {
+				return 0
+			}
+			_, inflight, _, _ := s.gate.Stats()
+			return float64(inflight)
+		})
+	m.reg.CounterFunc("stmkvd_admission_admitted_total", "Updates admitted through the gate.", nil,
+		func() float64 {
+			if s.gate == nil {
+				return 0
+			}
+			_, _, admitted, _ := s.gate.Stats()
+			return float64(admitted)
+		})
+	m.reg.CounterFunc("stmkvd_admission_waited_total", "Updates that blocked at the gate.", nil,
+		func() float64 {
+			if s.gate == nil {
+				return 0
+			}
+			_, _, _, waited := s.gate.Stats()
+			return float64(waited)
+		})
+	m.reg.Histogram("stmkvd_admission_wait_seconds", "Time update requests spent waiting at the admission gate.", nil,
+		m.admWaitNs, 1e-9, lat)
+
+	// --- Durability / WAL ---
+	for _, st := range []int32{stateStarting, stateReady, stateDegraded, stateFailed} {
+		st := st
+		m.reg.GaugeFunc("stmkvd_durability_state", "Server lifecycle state (one-hot).",
+			obs.Labels{"state": stateName(st)},
+			func() float64 {
+				if s.dur.state.Load() == st {
+					return 1
+				}
+				return 0
+			})
+	}
+	m.reg.CounterFunc("stmkvd_redo_records_total", "Redo records handed to the durability hook.", nil,
+		func() float64 { return float64(m.st.RedoRecords) })
+	m.reg.CounterFunc("stmkvd_wal_appends_total", "Records staged to the write-ahead log.", nil,
+		func() float64 { return float64(m.walStats.Appends) })
+	m.reg.CounterFunc("stmkvd_wal_batches_total", "Flusher batches that reached disk.", nil,
+		func() float64 { return float64(m.walStats.Batches) })
+	m.reg.CounterFunc("stmkvd_wal_syncs_total", "WAL fsyncs.", nil,
+		func() float64 { return float64(m.walStats.Syncs) })
+	m.reg.CounterFunc("stmkvd_wal_rotations_total", "WAL segment rotations.", nil,
+		func() float64 { return float64(m.walStats.Rotations) })
+	m.reg.Histogram("stmkvd_wal_flush_seconds", "Write+fsync duration per WAL batch.", nil,
+		m.walFlushNs, 1e-9, lat)
+	m.reg.Histogram("stmkvd_wal_batch_ops", "Records per flushed WAL batch.", nil,
+		m.walBatchOps, 1, obs.SizeBounds())
+
+	// --- Binary protocol listener ---
+	m.reg.GaugeFunc("stmkvd_proto_conns", "Open binary-protocol connections.", nil,
+		func() float64 { return float64(s.proto.conns.Load()) })
+	m.reg.CounterFunc("stmkvd_proto_accepted_total", "Binary-protocol connections accepted.", nil,
+		func() float64 { return float64(s.proto.accepted.Load()) })
+	m.reg.CounterFunc("stmkvd_proto_ops_total", "Binary-protocol requests executed.", nil,
+		func() float64 { return float64(s.proto.ops.Load()) })
+	m.reg.CounterFunc("stmkvd_proto_err_ops_total", "Binary-protocol responses with a non-OK status.", nil,
+		func() float64 { return float64(s.proto.errOps.Load()) })
+	m.reg.CounterFunc("stmkvd_proto_bad_frames_total", "Connections dropped for framing/decode errors.", nil,
+		func() float64 { return float64(s.proto.badFrames.Load()) })
+
+	return m
+}
+
+// timed wraps an HTTP data handler with request-latency recording.
+func (s *Server) timed(op int, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		d := uint64(time.Since(t0))
+		s.met.reqAll.Record(d)
+		s.met.req[surfHTTP][op].Record(d)
+	}
+}
+
+// protoReqOp maps a wire op to its request-latency op index.
+func protoReqOp(op kvproto.Op) int {
+	switch op {
+	case kvproto.OpGet:
+		return mopGet
+	case kvproto.OpPut:
+		return mopPut
+	case kvproto.OpDelete:
+		return mopDelete
+	case kvproto.OpCAS:
+		return mopCAS
+	case kvproto.OpAdd:
+		return mopAdd
+	case kvproto.OpBatch:
+		return mopBatch
+	default:
+		return mopScan
+	}
+}
+
+// Metrics exposes the server's registry (tests; embedding servers).
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }
+
+// TxTrace returns up to limit of the most recent flight-recorder events,
+// oldest first; nil when the recorder is disabled.
+func (s *Server) TxTrace(limit int) []obs.Event {
+	if s.met.rec == nil {
+		return nil
+	}
+	return s.met.rec.Dump(limit)
+}
+
+// wireTxEvent is the JSON form of one flight-recorder event.
+type wireTxEvent struct {
+	Seq     uint64 `json:"seq"`
+	Time    int64  `json:"t_unix_ns"`
+	Kind    string `json:"kind"`
+	Cause   string `json:"cause,omitempty"`
+	CM      string `json:"cm"`
+	Slot    uint32 `json:"slot"`
+	Attempt uint32 `json:"attempt"`
+	DurNs   uint64 `json:"dur_ns,omitempty"`
+	Locks   uint64 `json:"locks"`
+	Shifts  uint32 `json:"shifts"`
+	Hier    uint64 `json:"hier"`
+}
+
+func (s *Server) handleTxTrace(w http.ResponseWriter, r *http.Request) {
+	if s.met.rec == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	evs := s.met.rec.Dump(limit)
+	out := make([]wireTxEvent, len(evs))
+	for i, e := range evs {
+		we := wireTxEvent{
+			Seq:     e.Seq,
+			Time:    e.TimeUnixNano,
+			Kind:    e.Kind.String(),
+			CM:      e.CM.String(),
+			Slot:    e.Slot,
+			Attempt: e.Attempt,
+			DurNs:   e.DurNs,
+			Locks:   e.Locks,
+			Shifts:  e.Shifts,
+			Hier:    e.Hier,
+		}
+		if e.Kind == obs.EvAbort {
+			we.Cause = e.Cause.String()
+		}
+		out[i] = we
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":      true,
+		"sample_every": s.met.rec.SampleEvery(),
+		"capacity":     s.met.rec.Cap(),
+		"recorded":     s.met.rec.Recorded(),
+		"events":       out,
+	})
+}

@@ -1,0 +1,239 @@
+package kvserver
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// scrape fetches /metrics and returns the body plus a sample lookup:
+// value(series) for an exact series string like
+// `stm_commits_total` or `stmkvd_durability_state{state="ready"}`.
+func scrape(t *testing.T, c *http.Client, url string) (string, func(series string) (float64, bool)) {
+	t.Helper()
+	resp, err := c.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content-type %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+	vals := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed sample value in %q: %v", line, err)
+		}
+		vals[line[:sp]] = v
+	}
+	return body, func(series string) (float64, bool) { v, ok := vals[series]; return v, ok }
+}
+
+// TestMetricsEndpoint drives traffic over a fully-featured server and
+// checks the exposition covers every layer with live values.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		SpaceWords: 1 << 18, Shards: 4, Buckets: 8,
+		Snapshots: true, AdmissionWidth: 8,
+	})
+	c := ts.Client()
+
+	for i := 0; i < 32; i++ {
+		var ins struct{ Inserted bool }
+		doJSON(t, c, "PUT", ts.URL+"/kv/"+strconv.Itoa(i), "1", &ins)
+		var got struct{ Val uint64 }
+		doJSON(t, c, "GET", ts.URL+"/kv/"+strconv.Itoa(i), "", &got)
+	}
+
+	body, val := scrape(t, c, ts.URL)
+
+	if v, ok := val("stm_commits_total"); !ok || v < 32 {
+		t.Fatalf("stm_commits_total = %v (ok=%v), want >= 32", v, ok)
+	}
+	if v, ok := val(`stmkvd_request_seconds_count{op="put",surface="http"}`); !ok || v != 32 {
+		t.Fatalf(`request count {op="put"} = %v (ok=%v), want 32`, v, ok)
+	}
+	// The histogram carries bucket series and sum/count agreement.
+	if !regexp.MustCompile(`stmkvd_request_seconds_bucket\{op="put",surface="http",le="[0-9e.+-]+"\} `).MatchString(body) {
+		t.Fatal("no request-latency bucket series in exposition")
+	}
+	if v, ok := val(`stmkvd_request_seconds_bucket{op="put",surface="http",le="+Inf"}`); !ok || v != 32 {
+		t.Fatalf("+Inf bucket = %v (ok=%v), want 32", v, ok)
+	}
+	if v, ok := val(`stmkvd_durability_state{state="ready"}`); !ok || v != 1 {
+		t.Fatalf("durability ready gauge = %v (ok=%v), want 1", v, ok)
+	}
+	for _, st := range []string{"starting", "degraded", "failed"} {
+		if v, _ := val(`stmkvd_durability_state{state="` + st + `"}`); v != 0 {
+			t.Fatalf("durability %s gauge = %v, want 0", st, v)
+		}
+	}
+	if v, ok := val("stmkvd_keys"); !ok || v != 32 {
+		t.Fatalf("stmkvd_keys = %v (ok=%v), want 32", v, ok)
+	}
+	if v, ok := val("stmkvd_admission_width"); !ok || v != 8 {
+		t.Fatalf("admission width = %v (ok=%v), want 8", v, ok)
+	}
+	if v, ok := val("stmkvd_admission_admitted_total"); !ok || v < 32 {
+		t.Fatalf("admitted = %v (ok=%v), want >= 32", v, ok)
+	}
+	// 32 distinct keys over 4 shards: the heat map must have landed ops
+	// on more than one shard.
+	hot := 0
+	for sh := 0; sh < 4; sh++ {
+		if v, _ := val(`stmkvd_shard_ops_total{shard="` + strconv.Itoa(sh) + `"}`); v > 0 {
+			hot++
+		}
+	}
+	if hot < 2 {
+		t.Fatalf("shard heat landed on %d shards, want >= 2", hot)
+	}
+	// Abort-cause family is fully enumerated even when all-zero.
+	if _, ok := val(`stm_aborts_total{cause="read-conflict"}`); !ok {
+		t.Fatal("abort cause series missing")
+	}
+}
+
+// TestMetricsAlwaysAdmitted proves /metrics answers while the server is
+// still starting (recovery held open), reporting the one-hot starting
+// state — the probe the crash smoke test relies on.
+func TestMetricsAlwaysAdmitted(t *testing.T) {
+	gate := make(chan struct{})
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{
+		SpaceWords: 1 << 18, Shards: 4, Buckets: 8, Snapshots: true,
+		Durability: DurabilityGroup, WALDir: dir, recoveryGate: gate,
+	})
+	c := ts.Client()
+
+	_, val := scrape(t, c, ts.URL)
+	if v, ok := val(`stmkvd_durability_state{state="starting"}`); !ok || v != 1 {
+		t.Fatalf("starting gauge = %v (ok=%v), want 1", v, ok)
+	}
+	close(gate)
+	waitReady(t, s)
+	_, val = scrape(t, c, ts.URL)
+	if v, _ := val(`stmkvd_durability_state{state="ready"}`); v != 1 {
+		t.Fatal("ready gauge not 1 after recovery")
+	}
+	if v, _ := val(`stmkvd_durability_state{state="starting"}`); v != 0 {
+		t.Fatal("starting gauge still 1 after recovery")
+	}
+}
+
+// TestMetricsWAL checks the durable path fills the WAL flush/batch
+// histograms and counters.
+func TestMetricsWAL(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		SpaceWords: 1 << 18, Shards: 4, Buckets: 8, Snapshots: true,
+		Durability: DurabilityGroup, WALDir: t.TempDir(),
+	})
+	c := ts.Client()
+	waitReady(t, s)
+	for i := 0; i < 8; i++ {
+		var ins struct{ Inserted bool }
+		doJSON(t, c, "PUT", ts.URL+"/kv/"+strconv.Itoa(i), "1", &ins)
+	}
+	_, val := scrape(t, c, ts.URL)
+	if v, ok := val("stmkvd_wal_appends_total"); !ok || v < 8 {
+		t.Fatalf("wal appends = %v (ok=%v), want >= 8", v, ok)
+	}
+	if v, ok := val("stmkvd_wal_flush_seconds_count"); !ok || v < 1 {
+		t.Fatalf("wal flush histogram count = %v (ok=%v), want >= 1", v, ok)
+	}
+	if v, ok := val("stmkvd_wal_batch_ops_count"); !ok || v < 1 {
+		t.Fatalf("wal batch-size histogram count = %v (ok=%v), want >= 1", v, ok)
+	}
+}
+
+// TestTxTraceEndpoint drives enough sampled traffic to fill the flight
+// recorder and checks the dump's shape, the limit parameter, and the
+// disabled form.
+func TestTxTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		SpaceWords: 1 << 18, Shards: 4, Buckets: 8, TxTraceEvery: 1,
+	})
+	c := ts.Client()
+	for i := 0; i < 16; i++ {
+		var ins struct{ Inserted bool }
+		doJSON(t, c, "PUT", ts.URL+"/kv/"+strconv.Itoa(i), "7", &ins)
+	}
+
+	var dump struct {
+		Enabled     bool   `json:"enabled"`
+		SampleEvery uint64 `json:"sample_every"`
+		Recorded    uint64 `json:"recorded"`
+		Events      []struct {
+			Seq   uint64 `json:"seq"`
+			Kind  string `json:"kind"`
+			Locks uint64 `json:"locks"`
+		} `json:"events"`
+	}
+	if code := doJSON(t, c, "GET", ts.URL+"/debug/txtrace", "", &dump); code != 200 {
+		t.Fatalf("txtrace status %d", code)
+	}
+	if !dump.Enabled || dump.SampleEvery != 1 {
+		t.Fatalf("enabled=%v every=%d, want true/1", dump.Enabled, dump.SampleEvery)
+	}
+	if len(dump.Events) == 0 || dump.Recorded == 0 {
+		t.Fatal("flight recorder dumped no events under every=1 sampling")
+	}
+	commits := 0
+	for _, e := range dump.Events {
+		if e.Kind == "commit" {
+			commits++
+		}
+		if e.Locks == 0 {
+			t.Fatalf("event %d missing TM geometry", e.Seq)
+		}
+	}
+	if commits == 0 {
+		t.Fatal("no commit events in trace")
+	}
+
+	var limited struct {
+		Events []json.RawMessage `json:"events"`
+	}
+	doJSON(t, c, "GET", ts.URL+"/debug/txtrace?limit=3", "", &limited)
+	if len(limited.Events) != 3 {
+		t.Fatalf("limit=3 returned %d events", len(limited.Events))
+	}
+	if code := doJSON(t, c, "GET", ts.URL+"/debug/txtrace?limit=0", "", nil); code != http.StatusBadRequest {
+		t.Fatalf("limit=0: status %d, want 400", code)
+	}
+
+	// TxTraceEvery < 0 disables the recorder; the endpoint still answers.
+	s2, ts2 := newTestServer(t, Config{
+		SpaceWords: 1 << 18, Shards: 4, Buckets: 8, TxTraceEvery: -1,
+	})
+	var off struct {
+		Enabled bool `json:"enabled"`
+	}
+	doJSON(t, ts2.Client(), "GET", ts2.URL+"/debug/txtrace", "", &off)
+	if off.Enabled {
+		t.Fatal("recorder reported enabled with TxTraceEvery=-1")
+	}
+	if s2.TxTrace(0) != nil {
+		t.Fatal("TxTrace() non-nil with the recorder disabled")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tinystm/internal/core"
 	"tinystm/internal/kvproto"
@@ -186,6 +187,12 @@ func (s *Server) protoExec(req *kvproto.Request) (resp *kvproto.Response) {
 		resp.Msg = msg
 		return resp
 	}
+	t0 := time.Now()
+	defer func() {
+		d := uint64(time.Since(t0))
+		s.met.reqAll.Record(d)
+		s.met.req[surfProto][protoReqOp(req.Op)].Record(d)
+	}()
 	defer func() {
 		if rec := recover(); rec != nil {
 			if rec == core.ErrSpaceExhausted {

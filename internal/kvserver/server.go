@@ -119,6 +119,10 @@ type Config struct {
 	// WALFS overrides the log's filesystem (fault-injection tests);
 	// nil means the real OS.
 	WALFS wal.FS
+	// TxTraceEvery is the flight recorder's sampling rate: one atomic
+	// block in N is traced. 0 picks the default (64); negative disables
+	// the recorder entirely.
+	TxTraceEvery int
 	// recoveryGate, when set by a test, holds boot recovery open (the
 	// server stays in the starting state) until the channel is closed.
 	recoveryGate chan struct{}
@@ -166,8 +170,11 @@ type Server struct {
 	start time.Time
 	dur   *durability
 	// gate is the update-admission token bucket, nil without
-	// AdmissionWidth; proto carries the binary listener's counters.
-	gate  *admission.Gate
+	// AdmissionWidth.
+	gate *admission.Gate
+	// met owns every instrument (histograms, registry, flight recorder,
+	// shard heat); proto carries the binary listener's counters.
+	met   *metrics
 	proto protoStats
 }
 
@@ -222,6 +229,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.AdmissionWidth > 0 {
 		s.gate = admission.New(cfg.AdmissionWidth)
 	}
+	// Instruments before the tuning runtime: the runtime differences the
+	// request-latency histogram per period to stamp p50/p99 onto its
+	// events.
+	s.met = newMetrics(s)
+	tm.SetObs(s.met.tmObs)
+	s.store.SetShardHeat(s.met.heat)
 	if cfg.Autotune {
 		admCfg := tuning.AdmissionConfig{Enable: cfg.TuneAdmission}
 		if cfg.TuneAdmission {
@@ -238,6 +251,7 @@ func New(cfg Config) (*Server, error) {
 			// A daemon tunes forever: keep only a bounded window of
 			// events in memory (/tuning serves its tail).
 			TraceCap: traceCap,
+			Latency:  s.met.reqAll,
 			Now:      cfg.Now,
 			After:    cfg.After,
 		})
@@ -315,7 +329,7 @@ func (s *Server) Handler() http.Handler {
 // intact) and only mutations are refused.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 	switch r.URL.Path {
-	case "/healthz", "/readyz", "/stats", "/tuning":
+	case "/healthz", "/readyz", "/stats", "/tuning", "/metrics", "/debug/txtrace":
 		return true
 	}
 	switch s.dur.state.Load() {
@@ -358,15 +372,17 @@ func (s *Server) routes() {
 		}
 		fmt.Fprintln(w, "ready")
 	})
-	s.mux.HandleFunc("GET /kv/{key}", s.handleGet)
-	s.mux.HandleFunc("PUT /kv/{key}", s.handlePut)
-	s.mux.HandleFunc("DELETE /kv/{key}", s.handleDelete)
-	s.mux.HandleFunc("POST /kv/{key}/cas", s.handleCAS)
-	s.mux.HandleFunc("POST /kv/{key}/add", s.handleAdd)
-	s.mux.HandleFunc("POST /batch", s.handleBatch)
-	s.mux.HandleFunc("GET /scan", s.handleScan)
+	s.mux.HandleFunc("GET /kv/{key}", s.timed(mopGet, s.handleGet))
+	s.mux.HandleFunc("PUT /kv/{key}", s.timed(mopPut, s.handlePut))
+	s.mux.HandleFunc("DELETE /kv/{key}", s.timed(mopDelete, s.handleDelete))
+	s.mux.HandleFunc("POST /kv/{key}/cas", s.timed(mopCAS, s.handleCAS))
+	s.mux.HandleFunc("POST /kv/{key}/add", s.timed(mopAdd, s.handleAdd))
+	s.mux.HandleFunc("POST /batch", s.timed(mopBatch, s.handleBatch))
+	s.mux.HandleFunc("GET /scan", s.timed(mopScan, s.handleScan))
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /tuning", s.handleTuning)
+	s.mux.Handle("GET /metrics", s.met.reg.Handler())
+	s.mux.HandleFunc("GET /debug/txtrace", s.handleTxTrace)
 }
 
 // enterUpdate claims an update-admission slot (blocking at the door when
@@ -378,7 +394,9 @@ func (s *Server) enterUpdate() func() {
 	if s.gate == nil {
 		return func() {}
 	}
+	t0 := time.Now()
 	s.gate.Enter()
+	s.met.admWaitNs.Record(uint64(time.Since(t0)))
 	return s.gate.Exit
 }
 
@@ -648,6 +666,9 @@ type wireEvent struct {
 	SnapTooOld uint64     `json:"snap_too_old,omitempty"`
 	AdmWidth   int        `json:"adm_width,omitempty"`
 	NextAdm    int        `json:"next_adm_width,omitempty"`
+	LatP50Ns   int64      `json:"lat_p50_ns,omitempty"`
+	LatP99Ns   int64      `json:"lat_p99_ns,omitempty"`
+	LatSamples uint64     `json:"lat_samples,omitempty"`
 	Err        string     `json:"err,omitempty"`
 	CMErr      string     `json:"cm_err,omitempty"`
 	SnapErr    string     `json:"snap_err,omitempty"`
@@ -727,6 +748,11 @@ func (s *Server) handleTuning(w http.ResponseWriter, r *http.Request) {
 			if e.AdmErr != nil {
 				we.AdmErr = e.AdmErr.Error()
 			}
+		}
+		if e.LatSamples > 0 {
+			we.LatP50Ns = int64(e.LatP50)
+			we.LatP99Ns = int64(e.LatP99)
+			we.LatSamples = e.LatSamples
 		}
 		if e.Err != nil {
 			we.Err = e.Err.Error()

@@ -3,6 +3,7 @@ package kvstore
 import (
 	"fmt"
 
+	"tinystm/internal/obs"
 	"tinystm/internal/txn"
 )
 
@@ -91,6 +92,10 @@ type Store[T txn.Tx] struct {
 	// durable.go. Set once via EnableDurability before traffic starts.
 	durable bool
 	sink    DurabilitySink
+	// heat, when attached (SetShardHeat), receives one op plus the retry
+	// count per single-key operation, keyed by shard — the server's
+	// contention heat map. Nil costs every op one predictable branch.
+	heat *obs.ShardHeat
 }
 
 // NewStore builds the Map inside sys and wraps it.
@@ -116,6 +121,17 @@ func (s *Store[T]) atomicRO(tx T, body func(T)) {
 	s.sys.AtomicRO(tx, body)
 }
 
+// SetShardHeat attaches the per-shard heat map (sized for this store via
+// NewShardHeat(Map().Shards())). Attach before traffic starts.
+func (s *Store[T]) SetShardHeat(h *obs.ShardHeat) { s.heat = h }
+
+// noteHeat records one finished single-key op against its shard.
+func (s *Store[T]) noteHeat(sh uint64, attempts int) {
+	if s.heat != nil {
+		s.heat.Record(sh, attempts)
+	}
+}
+
 // Map exposes the underlying transactional map.
 func (s *Store[T]) Map() *Map[T] { return s.m }
 
@@ -127,7 +143,13 @@ func (s *Store[T]) Close() { s.pool.Close() }
 func (s *Store[T]) Get(key uint64) (val uint64, found bool) {
 	tx := s.pool.Get()
 	defer s.pool.Put(tx)
-	s.sys.AtomicRO(tx, func(tx T) { val, found = s.m.Get(tx, key) })
+	attempts := 0
+	s.sys.AtomicRO(tx, func(tx T) {
+		//stm:allow-effect heat-map retry counter: monotone, reported after commit, never read in-body
+		attempts++
+		val, found = s.m.Get(tx, key)
+	})
+	s.noteHeat(s.m.Shard(key), attempts)
 	return val, found
 }
 
@@ -139,11 +161,15 @@ func (s *Store[T]) Put(key, val uint64) (inserted bool) {
 	tx := s.pool.Get()
 	defer s.pool.Put(tx)
 	sh := s.m.Shard(key)
+	attempts := 0
 	s.sys.Atomic(tx, func(tx T) {
+		//stm:allow-effect heat-map retry counter: monotone, reported after commit, never read in-body
+		attempts++
 		inserted = s.m.Put(tx, key, val)
 		grow = inserted && s.m.NeedsGrow(tx, sh)
 		s.redo(tx, txn.RedoPut, key, val)
 	})
+	s.noteHeat(sh, attempts)
 	// The ticket must be read before tryGrow: the growth transaction's
 	// Begin clears it from the descriptor.
 	t := s.ticket(tx)
@@ -173,12 +199,16 @@ func (s *Store[T]) tryGrow(tx T, sh uint64) {
 func (s *Store[T]) Delete(key uint64) (found bool) {
 	tx := s.pool.Get()
 	defer s.pool.Put(tx)
+	attempts := 0
 	s.sys.Atomic(tx, func(tx T) {
+		//stm:allow-effect heat-map retry counter: monotone, reported after commit, never read in-body
+		attempts++
 		found = s.m.Delete(tx, key)
 		if found {
 			s.redo(tx, txn.RedoDelete, key, 0)
 		}
 	})
+	s.noteHeat(s.m.Shard(key), attempts)
 	s.waitDurable(s.ticket(tx))
 	return found
 }
@@ -187,12 +217,16 @@ func (s *Store[T]) Delete(key uint64) (found bool) {
 func (s *Store[T]) CAS(key, old, new uint64) (ok bool) {
 	tx := s.pool.Get()
 	defer s.pool.Put(tx)
+	attempts := 0
 	s.sys.Atomic(tx, func(tx T) {
+		//stm:allow-effect heat-map retry counter: monotone, reported after commit, never read in-body
+		attempts++
 		ok = s.m.CAS(tx, key, old, new)
 		if ok {
 			s.redo(tx, txn.RedoPut, key, new)
 		}
 	})
+	s.noteHeat(s.m.Shard(key), attempts)
 	s.waitDurable(s.ticket(tx))
 	return ok
 }
@@ -204,11 +238,15 @@ func (s *Store[T]) Add(key, delta uint64) (val uint64) {
 	tx := s.pool.Get()
 	defer s.pool.Put(tx)
 	sh := s.m.Shard(key)
+	attempts := 0
 	s.sys.Atomic(tx, func(tx T) {
+		//stm:allow-effect heat-map retry counter: monotone, reported after commit, never read in-body
+		attempts++
 		val = s.m.Add(tx, key, delta)
 		grow = s.m.NeedsGrow(tx, sh)
 		s.redo(tx, txn.RedoPut, key, val)
 	})
+	s.noteHeat(sh, attempts)
 	t := s.ticket(tx)
 	if grow {
 		s.tryGrow(tx, sh)

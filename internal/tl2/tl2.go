@@ -23,9 +23,11 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tinystm/internal/cm"
 	"tinystm/internal/mem"
+	"tinystm/internal/obs"
 	"tinystm/internal/reclaim"
 	"tinystm/internal/txn"
 )
@@ -108,6 +110,10 @@ type TM struct {
 	_     [64]byte
 	clock atomic.Uint64
 	_     [64]byte
+
+	// obsHook is the installed observability sink (SetObs); nil when
+	// detached. One pointer load per atomic block when disabled.
+	obsHook atomic.Pointer[obs.TMObs]
 
 	pool  reclaim.Pool
 	mu    sync.Mutex
@@ -221,21 +227,91 @@ func (tm *TM) atomic(tx *Tx, fn func(*Tx), ro bool) {
 		fn(tx) // flat nesting
 		return
 	}
+	o := tm.obsHook.Load()
+	if o == nil {
+		// Uninstrumented fast path: no clock reads, no sampling draw.
+		tx.upgr = false
+		attempts := 0
+		for {
+			attempts++
+			tx.Begin(ro && !tx.upgr)
+			if attempts == 1 {
+				tm.pol.OnStart(&tx.cmst)
+			}
+			if tx.runBody(fn) && tx.Commit() {
+				tm.pol.OnCommit(&tx.cmst)
+				return
+			}
+			tm.pol.OnAbort(&tx.cmst)
+		}
+	}
+	tm.atomicObserved(tx, fn, ro, o)
+}
+
+// atomicObserved is the instrumented twin of the atomic retry loop: it
+// times every attempt into the commit/abort histograms and, for sampled
+// blocks, emits the begin/retry/abort/commit event trace. TL2's geometry
+// is static, so events carry the construction-time lock table (Hier 0 —
+// TL2 has no hierarchical layer).
+func (tm *TM) atomicObserved(tx *Tx, fn func(*Tx), ro bool, o *obs.TMObs) {
+	sampled := o.SampleTx()
 	tx.upgr = false
 	attempts := 0
 	for {
 		attempts++
+		if sampled {
+			e := tm.baseEvent(tx, obs.EvRetry, attempts)
+			if attempts == 1 {
+				e.Kind = obs.EvBegin
+			}
+			o.Trace(e)
+		}
+		t0 := time.Now()
 		tx.Begin(ro && !tx.upgr)
 		if attempts == 1 {
 			tm.pol.OnStart(&tx.cmst)
 		}
 		if tx.runBody(fn) && tx.Commit() {
+			d := uint64(time.Since(t0))
+			o.OnCommit(d)
+			if sampled {
+				e := tm.baseEvent(tx, obs.EvCommit, attempts)
+				e.DurNs = d
+				o.Trace(e)
+			}
 			tm.pol.OnCommit(&tx.cmst)
 			return
+		}
+		d := uint64(time.Since(t0))
+		o.OnAbort(d, tx.lastAbort)
+		if sampled {
+			e := tm.baseEvent(tx, obs.EvAbort, attempts)
+			e.Cause = tx.lastAbort
+			e.DurNs = d
+			o.Trace(e)
 		}
 		tm.pol.OnAbort(&tx.cmst)
 	}
 }
+
+func (tm *TM) baseEvent(tx *Tx, kind obs.EventKind, attempts int) obs.Event {
+	return obs.Event{
+		TimeUnixNano: time.Now().UnixNano(),
+		Kind:         kind,
+		CM:           tm.pol.Kind(),
+		Slot:         uint32(tx.slot),
+		Attempt:      uint32(attempts),
+		Locks:        uint64(len(tm.locks)),
+		Shifts:       uint32(tm.shifts),
+	}
+}
+
+// SetObs installs (or, with nil, detaches) the observability sink:
+// commit/abort duration histograms plus the sampled flight recorder.
+func (tm *TM) SetObs(o *obs.TMObs) { tm.obsHook.Store(o) }
+
+// Obs returns the installed observability sink, nil when detached.
+func (tm *TM) Obs() *obs.TMObs { return tm.obsHook.Load() }
 
 // CommitAbortCounts returns aggregate commit/abort counters summed over
 // all descriptors. Lock-free (it walks the published descriptor

@@ -7,6 +7,7 @@ import (
 
 	"tinystm/internal/cm"
 	"tinystm/internal/core"
+	"tinystm/internal/obs"
 )
 
 // System is the runtime's view of a tunable STM: an O(1) lock-free sampler
@@ -72,6 +73,12 @@ type Event struct {
 	AdmWidth     int
 	NextAdmWidth int
 	AdmChanged   bool
+	// LatP50 and LatP99 are the period's request-latency quantiles and
+	// LatSamples its request count, differenced from the attached
+	// latency histogram (RuntimeConfig.Latency). Zero without one: the
+	// controller then steers on throughput alone.
+	LatP50, LatP99 time.Duration
+	LatSamples     uint64
 	// Err reports a failed Reconfigure (the system keeps its previous
 	// parameters; the tuner's memory still records the move). CMErr
 	// reports a failed SetCM, SnapErr a failed SetVersionBudget and
@@ -95,6 +102,9 @@ func (e Event) String() string {
 			m = "-" + m
 		}
 		s := fmt.Sprintf("period %d: %v %.0f txs/s, move %v -> %v", e.Period, e.Params, e.Throughput, m, e.Next)
+		if e.LatSamples > 0 {
+			s += fmt.Sprintf(", lat p50=%v p99=%v (%d reqs)", e.LatP50, e.LatP99, e.LatSamples)
+		}
 		if e.CMSwitched {
 			s += fmt.Sprintf(", cm %v -> %v", e.CM, e.NextCM)
 		}
@@ -164,6 +174,13 @@ type RuntimeConfig struct {
 	// walks the gate's width — shrink when aborts climb, probe wider
 	// when calm.
 	Admission AdmissionConfig
+
+	// Latency, when non-nil, is the server's request-latency histogram
+	// (nanoseconds). The runtime snapshots it once per period and
+	// carries the period's p50/p99 deltas on every Event — the measured
+	// service-level consequence of each tuning move, next to the raw
+	// throughput the climbers steer on.
+	Latency *obs.Histogram
 
 	// Now and After inject a clock for deterministic tests. Defaults:
 	// time.Now and time.After.
@@ -455,6 +472,10 @@ func (r *Runtime) run(stop <-chan struct{}, done chan<- struct{}) {
 	if r.snapSys != nil {
 		lastTooOld, lastReads, _, _ = r.snapSys.SnapshotCounts()
 	}
+	var latBase obs.Snapshot
+	if r.cfg.Latency != nil {
+		latBase = r.cfg.Latency.Snapshot()
+	}
 	lastT := r.cfg.Now()
 	for {
 		maxTp := 0.0
@@ -483,16 +504,26 @@ func (r *Runtime) run(stop <-chan struct{}, done chan<- struct{}) {
 			to, rd, _, _ := r.snapSys.SnapshotCounts()
 			snapTooOld, snapReads = to-lastTooOld, rd-lastReads
 		}
-		r.step(maxTp, commits, aborts, snapTooOld, snapReads)
+		var lat obs.Snapshot
+		if r.cfg.Latency != nil {
+			cur := r.cfg.Latency.Snapshot()
+			lat = cur.Sub(&latBase)
+		}
+		r.step(maxTp, commits, aborts, snapTooOld, snapReads, &lat)
 		// Re-baseline after the decision: step can block arbitrarily long
 		// in Reconfigure's world-freeze, during which commits are
 		// suppressed. Without a fresh baseline the new configuration's
 		// first sample window would include that pause and read
 		// systematically low — every move would look like a throughput
 		// drop, spuriously triggering the tuner's reverse/forbid rules.
+		// The latency baseline follows the same rule: requests stalled
+		// behind the freeze must not be charged to the next period.
 		lastC, lastA = r.sys.CommitAbortCounts()
 		if r.snapSys != nil {
 			lastTooOld, lastReads, _, _ = r.snapSys.SnapshotCounts()
+		}
+		if r.cfg.Latency != nil {
+			latBase = r.cfg.Latency.Snapshot()
 		}
 		lastT = r.cfg.Now()
 	}
@@ -500,7 +531,7 @@ func (r *Runtime) run(stop <-chan struct{}, done chan<- struct{}) {
 
 // step makes one tuning decision from a period's measurement and applies
 // it to the live system.
-func (r *Runtime) step(maxTp float64, commits, aborts, snapTooOld, snapReads uint64) {
+func (r *Runtime) step(maxTp float64, commits, aborts, snapTooOld, snapReads uint64, lat *obs.Snapshot) {
 	r.mu.Lock()
 	ev := Event{
 		Period:     r.periods,
@@ -510,6 +541,11 @@ func (r *Runtime) step(maxTp float64, commits, aborts, snapTooOld, snapReads uin
 		Aborts:     aborts,
 		CM:         r.cmLive,
 		NextCM:     r.cmLive,
+	}
+	if lat.Count > 0 {
+		ev.LatP50 = time.Duration(lat.Quantile(0.50))
+		ev.LatP99 = time.Duration(lat.Quantile(0.99))
+		ev.LatSamples = lat.Count
 	}
 	if r.snapT != nil {
 		ev.SnapTooOld, ev.SnapReads = snapTooOld, snapReads

@@ -1,6 +1,7 @@
 package tuning
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"tinystm/internal/core"
 	"tinystm/internal/harness"
 	"tinystm/internal/mem"
+	"tinystm/internal/obs"
 )
 
 // virtualEnv is a fake System plus fake clock: time only advances when the
@@ -369,5 +371,47 @@ func TestRuntimeTraceCap(t *testing.T) {
 	if r.Periods() != 0 {
 		// appendTrace does not advance the period counter; step does.
 		t.Fatalf("Periods = %d", r.Periods())
+	}
+}
+
+// An attached latency histogram must stamp per-period p50/p99 deltas on
+// every event, with the baseline re-taken after each decision so one
+// period's requests are never charged to the next.
+func TestRuntimeLatencyDeltas(t *testing.T) {
+	start := p(10, 0, 1)
+	env := newVirtualEnv(start, func(core.Params) float64 { return 1000 }, 6*3)
+	h := obs.NewHistogram()
+	cfg := env.config(Config{Initial: start, Seed: 1})
+	cfg.Latency = h
+	// Each sample wait contributes ten requests of 1..10µs, so every
+	// period's delta holds exactly Samples*10 observations.
+	cfg.After = func(d time.Duration) <-chan time.Time {
+		for i := uint64(1); i <= 10; i++ {
+			h.Record(i * 1000)
+		}
+		return env.After(d)
+	}
+	rt := NewRuntime(env, cfg)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	<-env.reached
+	rt.Stop()
+
+	events := rt.Trace()
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	for i, e := range events {
+		if e.LatSamples != uint64(cfg.Samples*10) {
+			t.Fatalf("event %d: LatSamples = %d, want %d (baseline not re-taken?)",
+				i, e.LatSamples, cfg.Samples*10)
+		}
+		if e.LatP50 <= 0 || e.LatP99 < e.LatP50 || e.LatP99 > 11*time.Microsecond {
+			t.Fatalf("event %d: implausible quantiles p50=%v p99=%v", i, e.LatP50, e.LatP99)
+		}
+		if s := e.String(); !strings.Contains(s, "lat p50=") && !e.Idle {
+			t.Fatalf("event %d: String() misses latency: %q", i, s)
+		}
 	}
 }

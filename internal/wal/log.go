@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tinystm/internal/obs"
 	"tinystm/internal/txn"
 )
 
@@ -34,6 +35,11 @@ type Config struct {
 	// and the log enters its sticky failed state. Called from the flusher
 	// goroutine; must not block on WAL operations.
 	OnError func(error)
+	// FlushNs, if set, receives the duration of every write+fsync flush
+	// in nanoseconds; BatchOps receives each flushed batch's record
+	// count. Recorded from the flusher goroutine, off the append path.
+	FlushNs  *obs.Histogram
+	BatchOps *obs.Histogram
 }
 
 // Stats is a point-in-time snapshot of log counters.
@@ -338,7 +344,14 @@ func (l *Log) commitBatch(batch []*Pending) {
 			}
 		}
 		if len(recs) > 0 {
+			t0 := time.Now()
 			err = l.writeAndSyncLocked(encodeFrame(recs))
+			if l.cfg.FlushNs != nil {
+				l.cfg.FlushNs.Record(uint64(time.Since(t0)))
+			}
+			if l.cfg.BatchOps != nil {
+				l.cfg.BatchOps.Record(uint64(len(recs)))
+			}
 		}
 		if err == nil {
 			l.batches.Add(1)

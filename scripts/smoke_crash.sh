@@ -58,10 +58,21 @@ wait_ready() {
   echo "server never became ready"; cat "$LOG"; exit 1
 }
 
+# state_metric reads the one-hot stmkvd_durability_state gauge from
+# /metrics (admitted in every lifecycle state) and prints the active
+# state's label.
+state_metric() {
+  curl -sf "$BASE/metrics" \
+    | sed -n 's/^stmkvd_durability_state{state="\([a-z]*\)"} 1$/\1/p'
+}
+
 start_server
 trap 'kill -9 $SRV 2>/dev/null || true; cat "$LOG"' EXIT
 parse_addrs
 wait_ready
+
+ST="$(state_metric)"
+[ "$ST" = "ready" ] || { echo "durability-state metric is '$ST' pre-kill, want ready"; exit 1; }
 
 # Open-loop load in the background; its capped-backoff retry window
 # (~15s) is what lets the same run span the kill and the restart.
@@ -108,7 +119,29 @@ if [ "$N_ACKED" -lt 10 ]; then
 fi
 
 start_server
+parse_restart_state() {
+  # Right after the restart the metric must read a legal boot state —
+  # starting (mid-replay) or ready (replay won the race) — never
+  # degraded/failed/empty; after wait_ready it must be exactly ready.
+  for i in $(seq 1 100); do
+    ST="$(state_metric || true)"
+    if [ -n "$ST" ]; then
+      case "$ST" in
+        starting|ready) return 0 ;;
+        *) echo "durability-state metric is '$ST' during restart"; exit 1 ;;
+      esac
+    fi
+    if ! kill -0 "$SRV" 2>/dev/null; then
+      echo "stmkvd died at restart"; cat "$LOG"; exit 1
+    fi
+    sleep 0.1
+  done
+  echo "/metrics never served a durability state during restart"; exit 1
+}
+parse_restart_state
 wait_ready
+ST="$(state_metric)"
+[ "$ST" = "ready" ] || { echo "durability-state metric is '$ST' after recovery, want ready"; exit 1; }
 
 # (a) Zero acked-write loss: every recorded ack is served with its value.
 while read -r k v; do

@@ -56,6 +56,32 @@ for i in $(seq 1 40); do
   sleep 0.1
 done
 
+# Scrape /metrics while the generator is still loading the server: the
+# exposition must be well-formed text format with a live commit counter
+# and request-latency bucket series (histograms recorded on the hot path,
+# rendered under load).
+METRICS="$(curl -sf "$BASE/metrics")" || { echo "/metrics failed"; exit 1; }
+python3 - "$METRICS" <<'PY'
+import sys
+body = sys.argv[1]
+commits = None
+latency_buckets = 0
+for line in body.splitlines():
+    if not line or line.startswith("#"):
+        continue
+    series, _, value = line.rpartition(" ")
+    assert series and value, f"malformed exposition line: {line!r}"
+    float(value)  # every sample value must parse
+    if series == "stm_commits_total":
+        commits = float(value)
+    if series.startswith("stmkvd_request_seconds_bucket{"):
+        assert 'le="' in series, f"bucket series without le label: {line!r}"
+        latency_buckets += 1
+assert commits is not None and commits > 0, f"stm_commits_total missing or zero: {commits}"
+assert latency_buckets > 0, "no stmkvd_request_seconds bucket series in exposition"
+print(f"metrics ok mid-load: {int(commits)} commits, {latency_buckets} latency bucket series")
+PY
+
 wait $GEN
 
 # The autotuner must have moved the live geometry at least once, and the
@@ -74,6 +100,9 @@ assert tuning["reconfigurations"] >= 1, f"no reconfiguration events: {tuning}"
 assert stats["reconfigs"] >= 1, f"TM never reconfigured: {stats}"
 assert stats["commits"] >= 10000, f"too few commits: {stats['commits']}"
 assert len(tuning["events"]) >= 5, f"trace too short: {len(tuning['events'])} events"
+lat_events = [e for e in tuning["events"] if e.get("lat_p50_ns", 0) > 0]
+assert lat_events, "no tuning event carries request-latency quantiles"
+assert all(e["lat_p99_ns"] >= e["lat_p50_ns"] for e in lat_events), "p99 below p50"
 assert scans >= 30, f"only {scans} snapshot scans completed under load"
 assert batches >= 30, f"only {batches} all-Get batches completed under load"
 snap = stats["snapshots"]
