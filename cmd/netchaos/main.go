@@ -1,0 +1,90 @@
+// Command netchaos runs the deterministic fault-injecting TCP proxy from
+// internal/netchaos as a standalone process, for chaos-testing a live
+// stmkvd from scripts (scripts/smoke_chaos.sh) or by hand: point a
+// client at the proxy, point the proxy at the server, and dial in
+// latency, stalls, resets, partial writes, byte corruption and a timed
+// blackout window.
+//
+// The bound address is logged as "netchaos listening on <addr>" so
+// scripts can parse it (use -listen 127.0.0.1:0 for an ephemeral port).
+// On SIGINT/SIGTERM the proxy prints its cumulative fault counters and
+// exits 0.
+//
+// Examples:
+//
+//	netchaos -target localhost:8081                        # transparent relay
+//	netchaos -target localhost:8081 -reset-every 65536     # RST every ~64KiB
+//	netchaos -target localhost:8081 -corrupt-every 131072 -chunk 7
+//	netchaos -target localhost:8081 -blackout-at 5s -blackout-for 2s
+//	                                                       # full outage window:
+//	                                                       # breaker-cycle fodder
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tinystm/internal/netchaos"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netchaos: ")
+
+	var (
+		target   = flag.String("target", "", "upstream address to forward to (required)")
+		listen   = flag.String("listen", "127.0.0.1:0", "listen address (:0 for an ephemeral port)")
+		seed     = flag.Uint64("seed", 1, "deterministic fault-schedule seed")
+		latency  = flag.Duration("latency", 0, "fixed one-way delay per forwarded read")
+		stallEv  = flag.Int64("stall-every", 0, "stall roughly every N forwarded bytes per direction (0 = never)")
+		stallFor = flag.Duration("stall-for", time.Second, "stall duration (with -stall-every)")
+		resetEv  = flag.Int64("reset-every", 0, "sever (RST) after roughly N forwarded bytes in one direction (0 = never)")
+		corrupt  = flag.Int64("corrupt-every", 0, "flip one byte roughly every N forwarded bytes per direction (0 = never)")
+		chunk    = flag.Int("chunk", 0, "split forwards into writes of at most N bytes (0 = whole reads)")
+		blackAt  = flag.Duration("blackout-at", 0, "start a full outage this long after boot (0 = never)")
+		blackFor = flag.Duration("blackout-for", 2*time.Second, "outage length (with -blackout-at): live connections are killed, new ones reset")
+	)
+	flag.Parse()
+
+	if *target == "" {
+		log.Fatal("-target is required")
+	}
+	p, err := netchaos.New(netchaos.Config{
+		Target:       *target,
+		Listen:       *listen,
+		Seed:         *seed,
+		Latency:      *latency,
+		StallEvery:   *stallEv,
+		StallFor:     *stallFor,
+		ResetEvery:   *resetEv,
+		CorruptEvery: *corrupt,
+		ChunkBytes:   *chunk,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("netchaos listening on %s -> %s (seed=%d)", p.Addr(), *target, *seed)
+
+	if *blackAt > 0 {
+		time.AfterFunc(*blackAt, func() {
+			log.Printf("blackout: ON for %v", *blackFor)
+			p.SetBlackout(true)
+			time.AfterFunc(*blackFor, func() {
+				p.SetBlackout(false)
+				log.Print("blackout: OFF")
+			})
+		})
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := p.Stats()
+	p.Close()
+	log.Printf("final: accepted=%d resets=%d corrupted=%d stalls=%d",
+		st.Accepted, st.Resets, st.Corrupted, st.Stalls)
+}

@@ -10,10 +10,16 @@
 // -shift flips to a second mix (-read2/-theta2) halfway through the run —
 // the phase change the server's autotuner must re-adapt to.
 //
-// Connection failures and 503s are retried with capped exponential
-// backoff (~15s window), so a run rides through a server restart — kill
-// the daemon mid-load, restart it, and the summary's retries count shows
-// how much traffic waited out the WAL replay.
+// Connection failures and 503s are retried through a shared
+// resilience.Retrier: capped exponential backoff under one token-bucket
+// retry budget for the whole process, so a run rides through a server
+// restart without ever amplifying an outage by more than the budget's
+// ratio. The summary's retries/retry-budget lines show how much traffic
+// waited out a WAL replay or brownout. With -op-timeout every request
+// carries that deadline to the server (X-Timeout-Ms on HTTP, the flagged
+// TimeoutMs field on the binary surface), and the binary path also runs
+// kvclient's circuit breaker in front of redials (-breaker-threshold,
+// -breaker-cooldown).
 //
 // Examples:
 //
@@ -42,6 +48,7 @@ import (
 	"tinystm/internal/harness"
 	"tinystm/internal/kvclient"
 	"tinystm/internal/kvproto"
+	"tinystm/internal/resilience"
 	"tinystm/internal/rng"
 )
 
@@ -77,6 +84,13 @@ func main() {
 		preload  = flag.Bool("preload", true, "PUT every key once before the timed run")
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		minOps   = flag.Uint64("min-ops", 0, "exit 1 unless at least this many requests complete")
+
+		opTimeout = flag.Duration("op-timeout", 0, "per-request deadline, propagated to the server (0 = none)")
+		retryTok  = flag.Float64("retry-tokens", 0, "retry-budget bucket capacity shared by the whole run (0 = default 16)")
+		retryRat  = flag.Float64("retry-ratio", 0, "retry-budget tokens earned back per success (0 = default 0.1)")
+		retryMax  = flag.Int("retry-attempts", 16, "max attempts per request including the first")
+		brkThresh = flag.Int("breaker-threshold", 0, "consecutive dial/connection failures that open the binary client's breaker (0 = default 5)")
+		brkCool   = flag.Duration("breaker-cooldown", 0, "how long an open breaker waits before probing (0 = default 1s)")
 	)
 	flag.Parse()
 
@@ -97,24 +111,53 @@ func main() {
 		log.Fatal("-keys, -rate, -workers, -batch-size and -conns must be positive")
 	}
 
+	// One retry budget and one retrier for the whole process: every
+	// worker's retries spend from the same bucket, so a server outage is
+	// never amplified by more than the budget's ratio of good traffic.
+	budget := resilience.NewRetryBudget(&resilience.RetryBudgetConfig{
+		Tokens: *retryTok, Ratio: *retryRat,
+	})
+	retrier := resilience.NewRetrier(resilience.RetryConfig{
+		MaxAttempts: *retryMax,
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  time.Second,
+		Budget:      budget,
+		Retryable:   retryable,
+	})
+
 	// doOp issues one mixed operation over the selected surface; the
 	// worker id spreads binary traffic round-robin over the connections.
 	var doOp func(m *mixConsts, r *rng.Rand, worker int) error
 	var preloadOp func(key, val uint64) error
+	var clients []*kvclient.Client // binary surface only; summary reads breaker stats
 	switch *proto {
 	case "http":
-		client := &http.Client{Transport: &http.Transport{
+		var rt http.RoundTripper = &http.Transport{
 			MaxIdleConns: 4 * *workers, MaxIdleConnsPerHost: 4 * *workers,
-		}}
+		}
+		client := &http.Client{Transport: rt}
+		if *opTimeout > 0 {
+			// Propagate the budget on every request and give the client a
+			// little slack past it, so the server's 504 (it knows WHERE the
+			// deadline died) usually beats the local abort.
+			client.Transport = deadlineTransport{rt: rt, ms: fmt.Sprint(opTimeout.Milliseconds())}
+			client.Timeout = *opTimeout + 250*time.Millisecond
+		}
 		doOp = func(m *mixConsts, r *rng.Rand, _ int) error {
 			return oneRequest(client, *addr, m, r)
 		}
 		preloadOp = func(key, val uint64) error { return put(client, *addr, key, val) }
 	case "binary":
 		target := strings.TrimPrefix(*addr, "http://")
-		clients := make([]*kvclient.Client, *conns)
+		copts := kvclient.Options{
+			OpTimeout: *opTimeout,
+			Breaker: &resilience.BreakerConfig{
+				FailureThreshold: *brkThresh, Cooldown: *brkCool, Seed: *seed,
+			},
+		}
+		clients = make([]*kvclient.Client, *conns)
 		for i := range clients {
-			clients[i] = kvclient.New(target, kvclient.Options{})
+			clients[i] = kvclient.New(target, copts)
 			defer clients[i].Close()
 		}
 		doOp = func(m *mixConsts, r *rng.Rand, worker int) error {
@@ -133,7 +176,7 @@ func main() {
 		for k := uint64(0); k < *keys; k++ {
 			k := k
 			v := r.Uint64() % 1000
-			if err := withRetry(func() error { return preloadOp(k, v) }); err != nil {
+			if err := retrier.Do(func() error { return preloadOp(k, v) }); err != nil {
 				log.Fatalf("preload key %d: %v", k, err)
 			}
 		}
@@ -162,15 +205,29 @@ func main() {
 		Rate: *rate, Duration: *duration, Workers: *workers, Queue: *queue, Seed: *seed,
 		NewOp: func(w *harness.Worker) (func(*harness.Worker) error, func()) {
 			return func(w *harness.Worker) error {
-				return withRetry(func() error {
+				return retrier.Do(func() error {
 					return doOp(phase.Load(), w.Rng, w.ID)
 				})
 			}, nil
 		},
 	}.Run()
 
+	bs := budget.Stats()
 	log.Printf("offered=%d completed=%d dropped=%d errors=%d retries=%d",
-		res.Offered, res.Completed, res.Dropped, res.Errors, retries.Load())
+		res.Offered, res.Completed, res.Dropped, res.Errors, retrier.Retries())
+	log.Printf("retry-budget tokens=%.1f/%.1f allowed=%d denied=%d",
+		bs.Tokens, bs.Cap, bs.Allowed, bs.Denied)
+	if len(clients) > 0 {
+		var opens, probes, closes uint64
+		for _, cl := range clients {
+			st := cl.ResilienceStats()
+			opens += st.Breaker.Opens
+			probes += st.Breaker.Probes
+			closes += st.Breaker.Closes
+		}
+		log.Printf("breaker opens=%d probes=%d closes=%d state=%s",
+			opens, probes, closes, clients[0].ResilienceStats().BreakerState)
+	}
 	log.Printf("throughput=%.0f req/s goodput=%.0f req/s latency p50=%v p95=%v p99=%v max=%v",
 		res.Throughput, res.Goodput, res.P50, res.P95, res.P99, res.Max)
 	if *minOps > 0 && res.Completed < *minOps {
@@ -183,11 +240,19 @@ func main() {
 	}
 }
 
-// retries counts request attempts that failed retryably and were retried
-// — the measure of how much of a server restart the run rode through.
-//
-//stm:allow-atomic client-side counter shared by request goroutines; no STM here
-var retries atomic.Uint64
+// deadlineTransport stamps the relative deadline budget onto every
+// outgoing HTTP request so the server can shed the ones that expire in
+// its queues instead of executing corpses.
+type deadlineTransport struct {
+	rt http.RoundTripper
+	ms string
+}
+
+func (t deadlineTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	r = r.Clone(r.Context())
+	r.Header.Set(resilience.TimeoutHeader, t.ms)
+	return t.rt.RoundTrip(r)
+}
 
 // statusError is a non-2xx HTTP response, kept typed so the retry policy
 // can distinguish "server temporarily unavailable" from a real failure.
@@ -202,16 +267,17 @@ func (e statusError) Error() string {
 
 // retryable reports whether an error is worth retrying: the connection
 // died (server killed or restarting — refused, reset, or cut mid-reply)
-// or the server answered 503 (WAL replay, degraded mode, shutdown). Any
-// other failure propagates immediately.
+// or the server answered 503 (WAL replay, degraded mode, brownout,
+// shutdown). A deadline failure is never retried — that budget is
+// already spent. Any other failure propagates immediately.
 func retryable(err error) bool {
 	var se statusError
 	if errors.As(err, &se) {
 		return se.code == http.StatusServiceUnavailable
 	}
 	// Binary-surface analogues: StatusUnavailable is the 503, a broken
-	// connection redials on the next attempt.
-	if errors.Is(err, kvclient.ErrUnavailable) || errors.Is(err, kvclient.ErrConn) {
+	// connection or an open breaker redials on a later attempt.
+	if kvclient.Retryable(err) {
 		return true
 	}
 	return errors.Is(err, syscall.ECONNREFUSED) ||
@@ -219,28 +285,6 @@ func retryable(err error) bool {
 		errors.Is(err, syscall.EPIPE) ||
 		errors.Is(err, io.EOF) ||
 		errors.Is(err, io.ErrUnexpectedEOF)
-}
-
-// withRetry runs fn, retrying retryable failures with exponential backoff
-// (50ms doubling, capped at 1s) up to maxAttempts — a window of ~15s,
-// enough to ride out a server restart plus WAL replay mid-load.
-func withRetry(fn func() error) error {
-	const (
-		maxAttempts = 16
-		maxBackoff  = time.Second
-	)
-	backoff := 50 * time.Millisecond
-	for attempt := 1; ; attempt++ {
-		err := fn()
-		if err == nil || attempt >= maxAttempts || !retryable(err) {
-			return err
-		}
-		retries.Add(1)
-		time.Sleep(backoff)
-		if backoff *= 2; backoff > maxBackoff {
-			backoff = maxBackoff
-		}
-	}
 }
 
 // oneRequest performs one mixed operation against the server.

@@ -14,6 +14,8 @@
 //	                                         # replays the WAL on restart
 //	stmkvd -proto-addr :8081 -admission 64   # binary pipelined protocol with a
 //	                                         # tuned update-admission gate
+//	stmkvd -brownout-slo 50ms                # brownout: shed scans, then writes,
+//	                                         # then reads whenever p99 > 50ms
 //
 // Both listen addresses accept :0 for an ephemeral port; the actual
 // bound addresses are logged as "http listening on ..." / "proto
@@ -78,6 +80,7 @@ func main() {
 		walDir    = flag.String("wal-dir", "", "write-ahead-log directory (segments and checkpoints)")
 		walBatch  = flag.Duration("wal-batch", 0, "WAL group-commit batch delay (0 = flush immediately)")
 		ckptEvry  = flag.Duration("checkpoint-every", 30*time.Second, "snapshot-checkpoint period for WAL truncation (0 = never)")
+		brownSLO  = flag.Duration("brownout-slo", 0, "request-latency p99 SLO: when exceeded the tuning runtime sheds scans, then writes, then reads until calm (0 = off; needs -autotune)")
 		txTrace   = flag.Int("txtrace", 0, "flight-recorder sampling: trace one transaction in N (0 = default 64, negative = off)")
 		debugAddr = flag.String("debug-addr", "", "separate net/http/pprof listen address (empty = no pprof)")
 	)
@@ -119,6 +122,7 @@ func main() {
 		TuneSnapshots:    *autotune && *tuneSnap && *snaps,
 		AdmissionWidth:   *admWidth,
 		TuneAdmission:    *autotune && *tuneAdm && *admWidth > 0,
+		BrownoutSLO:      *brownSLO,
 		Period:           *period,
 		Samples:          *samples,
 		MinPeriodCommits: *minc,
@@ -198,9 +202,9 @@ func main() {
 		_ = hs.Shutdown(ctx)
 	}()
 
-	log.Printf("serving on %s (design=%v clock=%v geometry=%v cm=%v snapshots=%v autotune=%v tune-cm=%v tune-snapshots=%v admission=%d tune-admission=%v period=%v)",
+	log.Printf("serving on %s (design=%v clock=%v geometry=%v cm=%v snapshots=%v autotune=%v tune-cm=%v tune-snapshots=%v admission=%d tune-admission=%v brownout-slo=%v period=%v)",
 		hl.Addr(), d, cs, geo, ck, *snaps, *autotune, *autotune && *tuneCM, *autotune && *tuneSnap && *snaps,
-		*admWidth, *autotune && *tuneAdm && *admWidth > 0, *period)
+		*admWidth, *autotune && *tuneAdm && *admWidth > 0, *brownSLO, *period)
 	log.Printf("http listening on %s", hl.Addr())
 	if pl != nil {
 		log.Printf("proto listening on %s", pl.Addr())

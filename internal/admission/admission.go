@@ -21,6 +21,7 @@ package admission
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Gate is the token bucket. The zero value is not usable; call New.
@@ -32,6 +33,7 @@ type Gate struct {
 	inflight int
 	admitted uint64 // total Enters granted
 	waited   uint64 // Enters that had to block first
+	expired  uint64 // EnterUntils that gave up at their deadline
 }
 
 // New builds a Gate admitting at most width concurrent updaters
@@ -58,6 +60,66 @@ func (g *Gate) Enter() {
 	g.inflight++
 	g.admitted++
 	g.mu.Unlock()
+}
+
+// EnterUntil is Enter with a deadline: it claims a slot like Enter, but
+// gives up and returns false — WITHOUT claiming — once deadline passes.
+// A zero deadline waits forever (plain Enter). This is how a
+// deadline-bearing request sheds at the gate instead of occupying queue
+// space for an answer nobody will read; timed-out Enters still count in
+// the waited statistic (they did queue), expired in the expired one.
+func (g *Gate) EnterUntil(deadline time.Time) bool {
+	if deadline.IsZero() {
+		g.Enter()
+		return true
+	}
+	g.mu.Lock()
+	if !time.Now().Before(deadline) {
+		// Expired on arrival: never claim, even at an empty gate.
+		g.expired++
+		g.mu.Unlock()
+		return false
+	}
+	if g.inflight >= g.width {
+		g.waited++
+		// sync.Cond has no timed wait: an AfterFunc broadcast wakes every
+		// waiter at the deadline; ours notices it expired and leaves, the
+		// rest re-check inflight and go back to sleep. The empty
+		// lock/unlock orders the broadcast after our Wait, closing the
+		// window where the timer fires between the check and the sleep.
+		t := time.AfterFunc(time.Until(deadline), func() {
+			g.mu.Lock()
+			//lint:ignore SA2001 empty critical section orders the broadcast after Wait
+			g.mu.Unlock()
+			g.slot.Broadcast()
+		})
+		for g.inflight >= g.width {
+			if !time.Now().Before(deadline) {
+				g.expired++
+				g.mu.Unlock()
+				t.Stop()
+				// Pass the baton: an Exit may have signaled exactly this
+				// goroutine; hand the wakeup to a live waiter.
+				g.slot.Signal()
+				return false
+			}
+			g.slot.Wait()
+		}
+		t.Stop()
+		if !time.Now().Before(deadline) {
+			// Woken to a free slot, but too late: the client has already
+			// given up on this request, so running it is pure waste.
+			// Refuse, and pass the wakeup on to a live waiter.
+			g.expired++
+			g.mu.Unlock()
+			g.slot.Signal()
+			return false
+		}
+	}
+	g.inflight++
+	g.admitted++
+	g.mu.Unlock()
+	return true
 }
 
 // Exit releases a slot claimed by Enter.
@@ -106,4 +168,11 @@ func (g *Gate) Stats() (width, inflight int, admitted, waited uint64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.width, g.inflight, g.admitted, g.waited
+}
+
+// Expired returns how many EnterUntil calls gave up at their deadline.
+func (g *Gate) Expired() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.expired
 }

@@ -147,3 +147,109 @@ func TestGateWaitedCounter(t *testing.T) {
 		t.Fatalf("counters = (admitted %d, waited %d), want (2, 1)", admitted, waited)
 	}
 }
+
+func TestEnterUntilZeroDeadlineIsEnter(t *testing.T) {
+	g := New(1)
+	if !g.EnterUntil(time.Time{}) {
+		t.Fatal("zero deadline must always claim")
+	}
+	g.Exit()
+}
+
+func TestEnterUntilImmediateWhenFree(t *testing.T) {
+	g := New(2)
+	if !g.EnterUntil(time.Now().Add(time.Hour)) {
+		t.Fatal("free slot with live deadline denied")
+	}
+	if g.Expired() != 0 {
+		t.Fatal("successful EnterUntil counted as expired")
+	}
+	g.Exit()
+}
+
+func TestEnterUntilExpiresAtFullGate(t *testing.T) {
+	g := New(1)
+	g.Enter() // occupy the only slot
+	start := time.Now()
+	if g.EnterUntil(start.Add(50 * time.Millisecond)) {
+		t.Fatal("full gate granted a slot inside the deadline")
+	}
+	if d := time.Since(start); d < 50*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("EnterUntil returned after %v, want ~50ms", d)
+	}
+	if g.Expired() != 1 {
+		t.Fatalf("expired = %d, want 1", g.Expired())
+	}
+	_, _, _, waited := g.Stats()
+	if waited != 1 {
+		t.Fatalf("waited = %d, want 1 (a timed-out Enter still queued)", waited)
+	}
+	g.Exit()
+	// The gate must be fully usable afterwards: the expired waiter left
+	// no claim behind.
+	if !g.EnterUntil(time.Now().Add(time.Second)) {
+		t.Fatal("gate unusable after an expired EnterUntil")
+	}
+	g.Exit()
+}
+
+func TestEnterUntilAlreadyExpired(t *testing.T) {
+	g := New(1)
+	// Even an EMPTY gate refuses an expired request: running it is waste.
+	if g.EnterUntil(time.Now().Add(-time.Second)) {
+		t.Fatal("past deadline granted a slot at an empty gate")
+	}
+	if g.Expired() != 1 {
+		t.Fatalf("expired = %d, want 1", g.Expired())
+	}
+}
+
+// TestEnterUntilPassesTheBaton pins the lost-wakeup hazard: with one
+// slot, one expiring waiter and one patient waiter, the Exit that lands
+// on the expiring waiter must be handed on, not swallowed.
+func TestEnterUntilPassesTheBaton(t *testing.T) {
+	g := New(1)
+	g.Enter()
+
+	patient := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if !g.EnterUntil(time.Time{}) {
+			t.Error("patient waiter denied")
+			return
+		}
+		close(patient)
+		g.Exit()
+	}()
+	go func() {
+		defer wg.Done()
+		// Expires while queued; must not strand the patient waiter.
+		if g.EnterUntil(time.Now().Add(20 * time.Millisecond)) {
+			t.Error("expirer claimed a slot the test never freed in time")
+			g.Exit()
+		}
+	}()
+
+	// Let both goroutines queue AND the expirer give up, then free the
+	// slot: the remaining signal must reach the patient waiter.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, _, _, waited := g.Stats()
+		if waited == 2 && g.Expired() == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never queued / expirer never expired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g.Exit()
+	select {
+	case <-patient:
+	case <-time.After(5 * time.Second):
+		t.Fatal("patient waiter starved after expiring waiter left")
+	}
+	wg.Wait()
+}

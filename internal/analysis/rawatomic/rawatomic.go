@@ -47,6 +47,11 @@ var allowedLayers = map[string]bool{
 	"tuning":  true, // online tuning loop
 	"mem":     true, // transactional arena allocator
 	"obs":     true, // observability: lock-free histograms, seqlock ring, registry
+	// Client-side and test-harness infrastructure: these packages talk to
+	// the server over sockets, never to transactional memory, so their
+	// counters, breakers and fault switches are legitimately raw.
+	"resilience": true, // retry budgets, circuit breaker, brownout ladder
+	"netchaos":   true, // fault-injecting TCP proxy (tests and smoke only)
 }
 
 func run(pass *framework.Pass) error {

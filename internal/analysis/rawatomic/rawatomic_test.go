@@ -8,5 +8,5 @@ import (
 )
 
 func TestRawAtomic(t *testing.T) {
-	analysistest.Run(t, "testdata", rawatomic.Analyzer, "app", "core", "obs")
+	analysistest.Run(t, "testdata", rawatomic.Analyzer, "app", "core", "obs", "resilience", "netchaos")
 }

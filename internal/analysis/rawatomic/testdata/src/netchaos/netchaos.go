@@ -1,0 +1,17 @@
+// Package netchaos carries the name of the fault-injecting proxy layer:
+// its fault switches and counters are socket-side test infrastructure,
+// so — like the STM runtime layers — nothing here is flagged.
+package netchaos
+
+import "sync/atomic"
+
+type proxy struct {
+	blackout atomic.Bool
+	resets   atomic.Uint64
+}
+
+func (p *proxy) sever() {
+	if p.blackout.Load() {
+		p.resets.Add(1)
+	}
+}

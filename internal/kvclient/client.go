@@ -9,10 +9,20 @@
 // no JSON.
 //
 // The client redials lazily: a broken connection fails every in-flight
-// call with ErrConn, and the next call dials fresh. Status-level
-// unavailability (WAL replay, degraded mode, admission refusal) comes
-// back as ErrUnavailable — retryable, the 503 analogue — while
-// StatusError is terminal.
+// call with ErrConn, and the next call dials fresh (one dial at a time —
+// concurrent callers wait for the single in-flight dial instead of
+// stampeding the server). Status-level unavailability (WAL replay,
+// degraded mode, admission refusal, brownout) comes back as
+// ErrUnavailable — retryable, the 503 analogue — while StatusError is
+// terminal.
+//
+// The client carries the full client-side resilience stack, all opt-in
+// via Options: per-op deadlines propagated on the wire (OpTimeout), a
+// token-bucket retry budget shared across the connection (Retry), and a
+// circuit breaker in front of redial (Breaker). The breaker counts
+// failed dials AND connections dying under the client — a breaker that
+// only watched dials would never open against a proxy that accepts and
+// then resets — and any decoded response closes it.
 package kvclient
 
 import (
@@ -24,6 +34,7 @@ import (
 	"time"
 
 	"tinystm/internal/kvproto"
+	"tinystm/internal/resilience"
 )
 
 // Sentinel errors. Wrapped errors carry detail; test with errors.Is.
@@ -36,7 +47,23 @@ var (
 	ErrConn = errors.New("kvclient: connection failed")
 	// ErrClosed reports a call on a Close()d client.
 	ErrClosed = errors.New("kvclient: client closed")
+	// ErrDeadline reports an op that exceeded its OpTimeout — either
+	// client-side (no response in time; outcome unknown) or server-side
+	// (the server shed it before running it; it did NOT execute).
+	ErrDeadline = errors.New("kvclient: deadline exceeded")
+	// ErrBreakerOpen reports a call refused locally because the circuit
+	// breaker is open: the backend looked dead recently and the cooldown
+	// has not elapsed. Nothing was sent.
+	ErrBreakerOpen = errors.New("kvclient: circuit breaker open")
 )
+
+// Retryable is the default retry classification: transport failures,
+// server unavailability and a locally-open breaker are worth retrying
+// (the breaker admits its probe when the cooldown lapses); deadline
+// errors are not — the op's time budget is already spent.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrUnavailable) || errors.Is(err, ErrConn) || errors.Is(err, ErrBreakerOpen)
+}
 
 // Options tune a Client.
 type Options struct {
@@ -45,6 +72,19 @@ type Options struct {
 	MaxInflight int
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
+	// OpTimeout is the per-op deadline (0: none). It is enforced
+	// client-side AND propagated on the wire, so the server sheds the op
+	// wherever it is queued when the budget runs out. A client-side
+	// timeout also fails the connection (in-flight siblings get ErrConn):
+	// a stream that missed a deadline may be wedged mid-frame forever.
+	OpTimeout time.Duration
+	// Retry enables automatic retries of Retryable errors under a
+	// token-bucket budget (nil: no retries). A nil Retry.Retryable takes
+	// the package's Retryable; set Retry.Budget to share one budget
+	// across clients.
+	Retry *resilience.RetryConfig
+	// Breaker enables a circuit breaker in front of redial (nil: none).
+	Breaker *resilience.BreakerConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -66,20 +106,33 @@ type Client struct {
 	// inflight is the pipelining bound, shared across redials.
 	inflight chan struct{}
 
+	retrier *resilience.Retrier
+	breaker *resilience.Breaker
+
 	//stm:allow-atomic client-side connection bookkeeping; no STM in this process
-	mu     sync.Mutex
-	conn   *clientConn // current connection, nil before first use / after failure
-	nextID uint64
-	closed bool
+	mu      sync.Mutex
+	conn    *clientConn // current connection, nil before first use / after failure
+	dialing *dialState  // single-flight dial in progress, nil otherwise
+	nextID  uint64
+	closed  bool
+}
+
+// dialState is one single-flight dial: concurrent callers wait on done
+// and read conn/err afterwards (written before close(done)).
+type dialState struct {
+	done chan struct{}
+	conn *clientConn
+	err  error
 }
 
 // clientConn is one connection generation: its socket, writer queue and
 // pending-call table die together, so a redial can never cross-deliver
 // a stale response to a new call.
 type clientConn struct {
-	c    net.Conn
-	out  chan []byte
-	dead chan struct{} // closed by fail(); unblocks the writer and senders
+	c      net.Conn
+	out    chan []byte
+	dead   chan struct{} // closed by fail(); unblocks the writer and senders
+	onFail func(error)   // breaker notification hook, called once
 
 	//stm:allow-atomic guards the pending-call table on the client side
 	mu      sync.Mutex
@@ -97,15 +150,27 @@ type outcome struct {
 // lazily on first use.
 func New(addr string, opts Options) *Client {
 	opts = opts.withDefaults()
-	return &Client{
+	c := &Client{
 		addr:     addr,
 		opts:     opts,
 		inflight: make(chan struct{}, opts.MaxInflight),
 	}
+	if opts.Retry != nil {
+		rc := *opts.Retry
+		if rc.Retryable == nil {
+			rc.Retryable = Retryable
+		}
+		c.retrier = resilience.NewRetrier(rc)
+	}
+	if opts.Breaker != nil {
+		c.breaker = resilience.NewBreaker(opts.Breaker)
+	}
+	return c
 }
 
 // Close fails in-flight calls and tears down the connection. The client
-// cannot be reused.
+// cannot be reused. Close never blocks behind an in-flight dial; the
+// dialer notices and discards its fresh connection.
 func (c *Client) Close() {
 	c.mu.Lock()
 	c.closed = true
@@ -117,18 +182,58 @@ func (c *Client) Close() {
 	}
 }
 
-// getConn returns the live connection, dialing when necessary.
+// getConn returns the live connection, dialing when necessary. Dials
+// are single-flight: one caller dials, everyone else waits for its
+// result — a dead server costs one connection attempt per redial, not
+// one per blocked caller.
 func (c *Client) getConn() (*clientConn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil, ErrClosed
 	}
 	if c.conn != nil {
-		return c.conn, nil
+		conn := c.conn
+		c.mu.Unlock()
+		return conn, nil
+	}
+	if st := c.dialing; st != nil {
+		c.mu.Unlock()
+		<-st.done
+		return st.conn, st.err
+	}
+	st := &dialState{done: make(chan struct{})}
+	c.dialing = st
+	c.mu.Unlock()
+
+	conn, err := c.dial()
+
+	c.mu.Lock()
+	c.dialing = nil
+	closedNow := c.closed
+	if err == nil && !closedNow {
+		c.conn = conn
+	}
+	c.mu.Unlock()
+	if err == nil && closedNow {
+		conn.fail(ErrClosed)
+		conn, err = nil, ErrClosed
+	}
+	st.conn, st.err = conn, err
+	close(st.done)
+	return conn, err
+}
+
+// dial establishes one connection generation, consulting the breaker.
+func (c *Client) dial() (*clientConn, error) {
+	if c.breaker != nil && !c.breaker.Allow() {
+		return nil, fmt.Errorf("%w: %s", ErrBreakerOpen, c.addr)
 	}
 	sock, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
 	if err != nil {
+		if c.breaker != nil {
+			c.breaker.Failure()
+		}
 		return nil, fmt.Errorf("%w: dial %s: %v", ErrConn, c.addr, err)
 	}
 	conn := &clientConn{
@@ -136,6 +241,13 @@ func (c *Client) getConn() (*clientConn, error) {
 		out:     make(chan []byte, c.opts.MaxInflight),
 		dead:    make(chan struct{}),
 		pending: make(map[uint64]chan outcome),
+		onFail: func(err error) {
+			// A connection dying under us is a breaker failure; our own
+			// Close is not.
+			if c.breaker != nil && !errors.Is(err, ErrClosed) {
+				c.breaker.Failure()
+			}
+		},
 	}
 	go conn.writeLoop()
 	go func() {
@@ -147,7 +259,6 @@ func (c *Client) getConn() (*clientConn, error) {
 		}
 		c.mu.Unlock()
 	}()
-	c.conn = conn
 	return conn, nil
 }
 
@@ -204,7 +315,9 @@ func (cc *clientConn) readLoop() {
 }
 
 // fail breaks the connection once: closes the socket, fails every
-// pending call, and poisons the table against late registrations.
+// pending call, and poisons the table against late registrations. Every
+// pending channel is buffered, so delivery never blocks and callers
+// that already gave up (op timeout) cost nothing.
 func (cc *clientConn) fail(err error) {
 	cc.mu.Lock()
 	if cc.err != nil {
@@ -217,6 +330,9 @@ func (cc *clientConn) fail(err error) {
 	cc.mu.Unlock()
 	close(cc.dead)
 	cc.c.Close()
+	if cc.onFail != nil {
+		cc.onFail(err)
+	}
 	for _, ch := range pending {
 		ch <- outcome{err: err}
 	}
@@ -234,11 +350,38 @@ func (cc *clientConn) register(id uint64, ch chan outcome) error {
 	return nil
 }
 
-// roundTrip sends one request and waits for its response. Concurrent
-// roundTrips pipeline on the shared connection.
+// roundTrip sends one request and waits for its response, retrying
+// under the budget when configured. Concurrent roundTrips pipeline on
+// the shared connection.
 func (c *Client) roundTrip(req *kvproto.Request) (*kvproto.Response, error) {
+	if c.retrier == nil {
+		return c.attempt(req)
+	}
+	var resp *kvproto.Response
+	err := c.retrier.Do(func() error {
+		var aerr error
+		resp, aerr = c.attempt(req)
+		return aerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// attempt is one send/receive try. The req's ID is (re)assigned here, so
+// a retried request is a fresh id on whatever connection is current.
+func (c *Client) attempt(req *kvproto.Request) (*kvproto.Response, error) {
 	c.inflight <- struct{}{}
 	defer func() { <-c.inflight }()
+
+	var timeout <-chan time.Time
+	if c.opts.OpTimeout > 0 {
+		req.TimeoutMs = resilience.TimeoutMs(c.opts.OpTimeout)
+		timer := time.NewTimer(c.opts.OpTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
 
 	conn, err := c.getConn()
 	if err != nil {
@@ -263,22 +406,72 @@ func (c *Client) roundTrip(req *kvproto.Request) (*kvproto.Response, error) {
 	}
 	// A dead connection has already delivered this call's failure to ch;
 	// the select keeps the send from blocking on a writer that is gone.
+	//
+	// An op timeout fails the WHOLE connection, not just this call: the
+	// stream is FIFO per direction, and a stream that did not deliver in
+	// time may be wedged mid-frame forever (a corrupted length prefix
+	// stalls ReadFrame indefinitely — the CRC only vets a frame once its
+	// claimed length has arrived). Redial is cheap; trusting a stuck
+	// stream is not.
 	select {
 	case conn.out <- frame:
 	case <-conn.dead:
+	case <-timeout:
+		conn.fail(fmt.Errorf("%w: op timed out after %v before send; stream no longer trusted", ErrConn, c.opts.OpTimeout))
+		return nil, fmt.Errorf("%w: %v elapsed before send", ErrDeadline, c.opts.OpTimeout)
 	}
-	out := <-ch
+	var out outcome
+	select {
+	case out = <-ch:
+	case <-timeout:
+		conn.fail(fmt.Errorf("%w: op timed out after %v; stream no longer trusted", ErrConn, c.opts.OpTimeout))
+		return nil, fmt.Errorf("%w: no response within %v", ErrDeadline, c.opts.OpTimeout)
+	}
 	if out.err != nil {
 		return nil, out.err
+	}
+	// Any decoded response proves the server end-to-end healthy.
+	if c.breaker != nil {
+		c.breaker.Success()
 	}
 	switch out.resp.Status {
 	case kvproto.StatusOK:
 		return out.resp, nil
 	case kvproto.StatusUnavailable:
 		return nil, fmt.Errorf("%w: %s", ErrUnavailable, out.resp.Msg)
+	case kvproto.StatusDeadlineExceeded:
+		return nil, fmt.Errorf("%w: server shed: %s", ErrDeadline, out.resp.Msg)
 	default:
 		return nil, fmt.Errorf("kvclient: server error: %s", out.resp.Msg)
 	}
+}
+
+// ResilienceStats snapshots the client's retry and breaker activity.
+type ResilienceStats struct {
+	// Retries counts retry attempts performed; Budget is the shared
+	// bucket's state (zero when retries are off or budget-less).
+	Retries uint64
+	Budget  resilience.BudgetStats
+	// Breaker is the transition counters and BreakerState the current
+	// position ("" when no breaker is configured).
+	Breaker      resilience.BreakerCounts
+	BreakerState string
+}
+
+// ResilienceStats reports retry/breaker counters for summaries.
+func (c *Client) ResilienceStats() ResilienceStats {
+	var st ResilienceStats
+	if c.retrier != nil {
+		st.Retries = c.retrier.Retries()
+		if b := c.opts.Retry.Budget; b != nil {
+			st.Budget = b.Stats()
+		}
+	}
+	if c.breaker != nil {
+		st.Breaker = c.breaker.Counts()
+		st.BreakerState = c.breaker.State().String()
+	}
+	return st
 }
 
 // Get reads one key.

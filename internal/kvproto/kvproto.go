@@ -17,9 +17,14 @@
 //
 // Payloads. A request payload is
 //
-//	id u64 | op u8 | body
+//	id u64 | op u8 | [deadline u32] | body
 //
-// and a response payload is
+// where bit 7 of the op byte gates the optional deadline field: when
+// set, a uint32 RELATIVE deadline budget in milliseconds follows the op
+// byte (and must be nonzero — the canonical encoding of "no deadline"
+// is a clear flag and no field). The budget re-anchors at server
+// receipt, so clock skew cannot expire it in flight. A response payload
+// is
 //
 //	id u64 | op u8 | status u8 | body
 //
@@ -102,6 +107,10 @@ func (o Op) String() string {
 // Valid reports whether o names a real operation.
 func (o Op) Valid() bool { return o >= OpGet && o < opEnd }
 
+// opDeadlineFlag is bit 7 of a request's op byte: set when the optional
+// uint32 deadline field follows. The op code proper lives in bits 0-6.
+const opDeadlineFlag = 0x80
+
 // Status is a response's outcome class.
 type Status uint8
 
@@ -116,6 +125,10 @@ const (
 	// StatusError is a terminal failure: malformed request, op the server
 	// does not understand, arena exhaustion. Not retryable.
 	StatusError
+	// StatusDeadlineExceeded means the request's deadline budget expired
+	// before the server finished (or started) it and the work was shed.
+	// Not retryable as-is: the client's budget is spent.
+	StatusDeadlineExceeded
 	statusEnd
 )
 
@@ -128,6 +141,8 @@ func (s Status) String() string {
 		return "unavailable"
 	case StatusError:
 		return "error"
+	case StatusDeadlineExceeded:
+		return "deadline_exceeded"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
@@ -170,6 +185,9 @@ type Request struct {
 	// Key/Val/Old serve Get, Put, Delete, CAS and Add (Val is Put's
 	// value, Add's delta, CAS's new value; Old is CAS's expected value).
 	Key, Val, Old uint64
+	// TimeoutMs is the optional relative deadline budget in
+	// milliseconds; 0 means no deadline (and no wire field).
+	TimeoutMs uint32
 	// Limit caps a Scan's returned pairs (0: server default).
 	Limit uint32
 	// Ops is the Batch body.
@@ -211,6 +229,7 @@ var (
 	ErrTrailingBytes = errors.New("kvproto: trailing bytes after payload")
 	ErrReservedBits  = errors.New("kvproto: reserved flag bits set")
 	ErrMsgTooLong    = errors.New("kvproto: error message exceeds cap")
+	ErrBadDeadline   = errors.New("kvproto: deadline flag set with zero budget")
 )
 
 // maxMsg caps a non-OK response's explanatory message. The codec is
@@ -268,7 +287,14 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 		return dst, ErrBadOp
 	}
 	dst = binary.LittleEndian.AppendUint64(dst, req.ID)
-	dst = append(dst, byte(req.Op))
+	opByte := byte(req.Op)
+	if req.TimeoutMs > 0 {
+		opByte |= opDeadlineFlag
+	}
+	dst = append(dst, opByte)
+	if req.TimeoutMs > 0 {
+		dst = binary.LittleEndian.AppendUint32(dst, req.TimeoutMs)
+	}
 	return appendRequestBody(dst, req)
 }
 
@@ -310,9 +336,18 @@ func DecodeRequest(p []byte) (*Request, error) {
 	d := decoder{buf: p}
 	req := &Request{}
 	req.ID = d.u64()
-	req.Op = Op(d.u8())
+	opByte := d.u8()
+	req.Op = Op(opByte &^ opDeadlineFlag)
 	if d.err == nil && !req.Op.Valid() {
 		return nil, ErrBadOp
+	}
+	if opByte&opDeadlineFlag != 0 {
+		req.TimeoutMs = d.u32()
+		if d.err == nil && req.TimeoutMs == 0 {
+			// Canonical: "no deadline" is encoded as a clear flag, so a
+			// flagged zero budget is something our encoder never emits.
+			return nil, ErrBadDeadline
+		}
 	}
 	switch req.Op {
 	case OpGet, OpDelete:

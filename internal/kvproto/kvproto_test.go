@@ -101,6 +101,13 @@ func sampleRequests() []*Request {
 		}},
 		{ID: 10, Op: OpBatch, Ops: []BatchOp{}},
 		{ID: ^uint64(0), Op: OpGet, Key: ^uint64(0)},
+		// Deadline-bearing requests (op byte bit 7 + u32 budget). These
+		// also seed the fuzz corpus with flagged frames.
+		{ID: 11, Op: OpGet, Key: 42, TimeoutMs: 250},
+		{ID: 12, Op: OpPut, Key: 42, Val: 7, TimeoutMs: 1},
+		{ID: 13, Op: OpScan, Limit: 10, TimeoutMs: 3600000},
+		{ID: 14, Op: OpBatch, TimeoutMs: 50, Ops: []BatchOp{{Op: OpAdd, Key: 1, Val: 2}}},
+		{ID: 15, Op: OpStats, TimeoutMs: ^uint32(0)},
 	}
 }
 
@@ -121,6 +128,7 @@ func sampleResponses() []*Response {
 		{ID: 11, Op: OpGet, Status: StatusUnavailable, Msg: "replaying WAL"},
 		{ID: 12, Op: OpPut, Status: StatusError, Msg: "space exhausted"},
 		{ID: 13, Op: OpBatch, Status: StatusError, Msg: ""},
+		{ID: 14, Op: OpScan, Status: StatusDeadlineExceeded, Msg: "deadline exceeded at gate"},
 	}
 }
 
@@ -221,6 +229,58 @@ func TestDecodeRequestErrors(t *testing.T) {
 	}
 	if _, err := AppendRequest(nil, &Request{Op: 0}); !errors.Is(err, ErrBadOp) {
 		t.Fatalf("invalid op encode: %v, want ErrBadOp", err)
+	}
+}
+
+func TestDeadlineCodecRules(t *testing.T) {
+	// Canonical: TimeoutMs == 0 encodes with a CLEAR flag and no field,
+	// so the flagged-with-zero-budget payload is rejected on decode.
+	bad := append(binary.LittleEndian.AppendUint64(nil, 1), byte(OpGet)|opDeadlineFlag)
+	bad = binary.LittleEndian.AppendUint32(bad, 0)
+	bad = binary.LittleEndian.AppendUint64(bad, 42)
+	if _, err := DecodeRequest(bad); !errors.Is(err, ErrBadDeadline) {
+		t.Fatalf("flagged zero budget: %v, want ErrBadDeadline", err)
+	}
+
+	// The op code under the flag must still be valid.
+	bad = append(binary.LittleEndian.AppendUint64(nil, 1), byte(opEnd)|opDeadlineFlag)
+	bad = binary.LittleEndian.AppendUint32(bad, 100)
+	if _, err := DecodeRequest(bad); !errors.Is(err, ErrBadOp) {
+		t.Fatalf("flagged invalid op: %v, want ErrBadOp", err)
+	}
+
+	// A flag with the deadline field missing is truncated.
+	bad = append(binary.LittleEndian.AppendUint64(nil, 1), byte(OpStats)|opDeadlineFlag)
+	if _, err := DecodeRequest(bad); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("flag without field: %v, want ErrTruncated", err)
+	}
+
+	// Batch SUB-op bytes carry no deadline flag: a flagged sub-op is a
+	// bad op, not a deadline.
+	nested := append(binary.LittleEndian.AppendUint64(nil, 1), byte(OpBatch))
+	nested = binary.LittleEndian.AppendUint32(nested, 1)
+	nested = append(nested, byte(OpGet)|opDeadlineFlag)
+	nested = append(nested, make([]byte, 24)...)
+	if _, err := DecodeRequest(nested); !errors.Is(err, ErrBadOp) {
+		t.Fatalf("flagged batch sub-op: %v, want ErrBadOp", err)
+	}
+
+	// Deadline-bearing payloads re-encode byte-identically (canonical).
+	req := &Request{ID: 9, Op: OpCAS, Key: 1, Old: 2, Val: 3, TimeoutMs: 75}
+	p, err := AppendRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := AppendRequest(nil, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, p2) {
+		t.Fatal("deadline-bearing request did not re-encode canonically")
 	}
 }
 

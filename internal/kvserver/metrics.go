@@ -12,6 +12,7 @@ import (
 
 	"tinystm/internal/kvproto"
 	"tinystm/internal/obs"
+	"tinystm/internal/resilience"
 	"tinystm/internal/txn"
 	"tinystm/internal/wal"
 )
@@ -194,6 +195,44 @@ func newMetrics(s *Server) *metrics {
 		})
 	m.reg.Histogram("stmkvd_admission_wait_seconds", "Time update requests spent waiting at the admission gate.", nil,
 		m.admWaitNs, 1e-9, lat)
+	m.reg.CounterFunc("stmkvd_admission_expired_total", "Updates refused at the gate because their deadline passed.", nil,
+		func() float64 {
+			if s.gate == nil {
+				return 0
+			}
+			return float64(s.gate.Expired())
+		})
+
+	// --- Resilience: deadline sheds and brownout ladder ---
+	for surf := 0; surf < nSurfaces; surf++ {
+		for st := 0; st < nShedStages; st++ {
+			surf, st := surf, st
+			m.reg.CounterFunc("stmkvd_deadline_shed_total", "Requests shed because their deadline budget ran out, by surface and stage.",
+				obs.Labels{"surface": surfaceNames[surf], "stage": shedStageNames[st]},
+				func() float64 { return float64(s.shed.deadline[surf][st].Load()) })
+		}
+	}
+	for lv := 0; lv < resilience.NumLevels; lv++ {
+		lv := resilience.Level(lv)
+		m.reg.GaugeFunc("stmkvd_brownout_state", "Brownout shed level (one-hot; off when no ladder is configured).",
+			obs.Labels{"state": lv.String()},
+			func() float64 {
+				cur := resilience.LevelOff
+				if s.brown != nil {
+					cur = s.brown.Level()
+				}
+				if cur == lv {
+					return 1
+				}
+				return 0
+			})
+	}
+	for c := 0; c < resilience.NumClasses; c++ {
+		c := resilience.Class(c)
+		m.reg.CounterFunc("stmkvd_brownout_shed_total", "Requests shed by the brownout controller, by class.",
+			obs.Labels{"class": c.String()},
+			func() float64 { return float64(s.shed.brownout[c].Load()) })
+	}
 
 	// --- Durability / WAL ---
 	for _, st := range []int32{stateStarting, stateReady, stateDegraded, stateFailed} {

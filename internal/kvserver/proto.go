@@ -136,12 +136,31 @@ func (s *Server) serveProtoConn(conn net.Conn) {
 			}
 			break
 		}
+		// Re-anchor the relative budget to an absolute deadline the moment
+		// the request leaves the socket: transit time never counts against
+		// it, and the server's own clock is the only one consulted.
+		var dl time.Time
+		if req.TimeoutMs > 0 {
+			dl = time.Now().Add(time.Duration(req.TimeoutMs) * time.Millisecond)
+		}
 		slots <- struct{}{}
 		wg.Add(1)
-		go func(req *kvproto.Request) {
+		go func(req *kvproto.Request, dl time.Time) {
 			defer func() { <-slots; wg.Done() }()
-			s.sendProto(out, s.protoExec(req))
-		}(req)
+			// Dequeue check: the op may have sat behind a full pipeline
+			// (the slots send above blocks when protoInflight ops run).
+			// Starting work for a client that already gave up is waste.
+			if expired(dl) {
+				s.shed.deadline[surfProto][shedStageDequeue].Add(1)
+				s.sendProto(out, &kvproto.Response{
+					ID: req.ID, Op: req.Op,
+					Status: kvproto.StatusDeadlineExceeded,
+					Msg:    "deadline exceeded before execution (dequeue)",
+				})
+				return
+			}
+			s.sendProto(out, s.protoExec(req, dl))
+		}(req, dl)
 	}
 	wg.Wait()
 	close(out)
@@ -173,13 +192,33 @@ var protoOpKinds = [...]kvstore.OpKind{
 	kvproto.OpAdd:    kvstore.OpAdd,
 }
 
+// protoShedDeadline stamps a deadline-shed response and counts it.
+func (s *Server) protoShedDeadline(resp *kvproto.Response, stage int) *kvproto.Response {
+	s.shed.deadline[surfProto][stage].Add(1)
+	resp.Status = kvproto.StatusDeadlineExceeded
+	resp.Msg = "deadline exceeded before execution (" + shedStageNames[stage] + ")"
+	return resp
+}
+
+// protoGate claims an update-admission slot under the request's
+// deadline; on expiry it stamps the shed response instead.
+func (s *Server) protoGate(resp *kvproto.Response, dl time.Time) (release func(), ok bool) {
+	release, ok = s.enterUpdateUntil(dl)
+	if !ok {
+		s.protoShedDeadline(resp, shedStageGate)
+		return nil, false
+	}
+	return release, true
+}
+
 // protoExec runs one request against the store and builds its response.
-// It applies the same three gates as the HTTP path: the lifecycle gate
-// (replaying/degraded/failed servers refuse work), the admission gate
-// (update transactions only), and the recover layer that converts arena
+// It applies the same gates as the HTTP path: the lifecycle gate
+// (replaying/degraded/failed servers refuse work), brownout class
+// shedding, the admission gate (update transactions only, bounded by
+// the request's deadline), and the recover layer that converts arena
 // exhaustion and failed durability waits into statuses instead of
 // tearing down the connection.
-func (s *Server) protoExec(req *kvproto.Request) (resp *kvproto.Response) {
+func (s *Server) protoExec(req *kvproto.Request, dl time.Time) (resp *kvproto.Response) {
 	s.proto.ops.Add(1)
 	resp = &kvproto.Response{ID: req.ID, Op: req.Op}
 	if msg, ok := s.protoAdmit(req.Op); !ok {
@@ -212,16 +251,32 @@ func (s *Server) protoExec(req *kvproto.Request) (resp *kvproto.Response) {
 	case kvproto.OpGet:
 		resp.Val, resp.Found = s.store.Get(req.Key)
 	case kvproto.OpPut:
-		defer s.enterUpdate()()
+		release, ok := s.protoGate(resp, dl)
+		if !ok {
+			return resp
+		}
+		defer release()
 		resp.OK = s.store.Put(req.Key, req.Val)
 	case kvproto.OpDelete:
-		defer s.enterUpdate()()
+		release, ok := s.protoGate(resp, dl)
+		if !ok {
+			return resp
+		}
+		defer release()
 		resp.Found = s.store.Delete(req.Key)
 	case kvproto.OpCAS:
-		defer s.enterUpdate()()
+		release, ok := s.protoGate(resp, dl)
+		if !ok {
+			return resp
+		}
+		defer release()
 		resp.OK = s.store.CAS(req.Key, req.Old, req.Val)
 	case kvproto.OpAdd:
-		defer s.enterUpdate()()
+		release, ok := s.protoGate(resp, dl)
+		if !ok {
+			return resp
+		}
+		defer release()
 		resp.Val = s.store.Add(req.Key, req.Val)
 	case kvproto.OpBatch:
 		if len(req.Ops) == 0 {
@@ -229,12 +284,21 @@ func (s *Server) protoExec(req *kvproto.Request) (resp *kvproto.Response) {
 			resp.Msg = "empty batch"
 			return resp
 		}
+		// The batch is one multi-key transaction: re-check the budget
+		// right before the expensive part.
+		if expired(dl) {
+			return s.protoShedDeadline(resp, shedStageOp)
+		}
 		ops := make([]kvstore.Op, len(req.Ops))
 		for i, o := range req.Ops {
 			ops[i] = kvstore.Op{Kind: protoOpKinds[o.Op], Key: o.Key, Val: o.Val, Old: o.Old}
 		}
 		if !readOnlyOps(ops) {
-			defer s.enterUpdate()()
+			release, ok := s.protoGate(resp, dl)
+			if !ok {
+				return resp
+			}
+			defer release()
 		}
 		res := s.store.Apply(ops)
 		resp.Results = make([]kvproto.BatchResult, len(res))
@@ -242,6 +306,11 @@ func (s *Server) protoExec(req *kvproto.Request) (resp *kvproto.Response) {
 			resp.Results[i] = kvproto.BatchResult{Val: r.Val, Found: r.Found, OK: r.OK}
 		}
 	case kvproto.OpScan:
+		// The full-table walk must not start for a client that already
+		// gave up.
+		if expired(dl) {
+			return s.protoShedDeadline(resp, shedStageOp)
+		}
 		limit := maxScanPairs
 		if req.Limit > 0 && int(req.Limit) < limit {
 			limit = int(req.Limit)
@@ -276,6 +345,9 @@ func (s *Server) protoExec(req *kvproto.Request) (resp *kvproto.Response) {
 func (s *Server) protoAdmit(op kvproto.Op) (msg string, ok bool) {
 	if op == kvproto.OpStats {
 		return "", true
+	}
+	if class := classifyProtoOp(op); s.brownSheds(class) {
+		return brownoutMsg(class), false
 	}
 	switch s.dur.state.Load() {
 	case stateReady:

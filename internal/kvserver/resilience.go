@@ -1,0 +1,199 @@
+// The server half of the resilience stack: end-to-end deadline
+// enforcement and brownout load shedding, shared by both request
+// surfaces.
+//
+// Deadlines travel as RELATIVE budgets (the X-Timeout-Ms header on HTTP,
+// the flagged TimeoutMs field on the wire protocol) and are re-anchored
+// to an absolute deadline the moment the server reads the request —
+// clock-skew immune by construction. From there the budget is checked at
+// every stage where the request can grow stale while costing nothing:
+// before execution (proto dequeue — the op sat in the connection's
+// pipeline), at the admission gate (EnterUntil sheds instead of queueing
+// a corpse), and before long operations start. A shed is answered 504 on
+// HTTP and StatusDeadlineExceeded on the wire, and counted per
+// surface+stage so /metrics can prove WHERE requests die under overload.
+//
+// The brownout ladder (resilience.Brownout, stepped by the tuning
+// runtime from the request-latency histogram's per-period p99) sheds
+// whole request classes in cost order — scans first, then writes, reads
+// last — at the door, before any transaction or gate wait. Shed
+// responses are 503 + Retry-After, the same shape as the lifecycle
+// gate's refusals, so clients' existing retry classification applies.
+package kvserver
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"tinystm/internal/kvproto"
+	"tinystm/internal/resilience"
+)
+
+// Deadline-shed stages: where a request's budget ran out.
+const (
+	// shedStageDequeue: expired between arrival and execution (the proto
+	// pipeline queue; HTTP has no equivalent queue the server can see).
+	shedStageDequeue = iota
+	// shedStageGate: expired waiting at (or arriving expired to) the
+	// update-admission gate.
+	shedStageGate
+	// shedStageOp: expired immediately before a long operation (scan,
+	// batch) would have started.
+	shedStageOp
+	nShedStages
+)
+
+var shedStageNames = [nShedStages]string{"dequeue", "gate", "op"}
+
+// shedStats counts deadline and brownout sheds for /metrics and /stats.
+type shedStats struct {
+	//stm:allow-atomic request accounting outside any transaction
+	deadline [nSurfaces][nShedStages]atomic.Uint64
+	//stm:allow-atomic request accounting outside any transaction
+	brownout [resilience.NumClasses]atomic.Uint64
+}
+
+// deadlineKey carries a request's absolute deadline in its context.
+type deadlineKey struct{}
+
+// httpDeadline parses the X-Timeout-Ms header into an absolute deadline
+// (zero: none). The error is a client error (400).
+func httpDeadline(r *http.Request) (time.Time, error) {
+	d, err := resilience.ParseTimeout(r.Header.Get(resilience.TimeoutHeader))
+	if err != nil || d == 0 {
+		return time.Time{}, err
+	}
+	return time.Now().Add(d), nil
+}
+
+// withDeadline stashes a non-zero deadline on the request context.
+func withDeadline(r *http.Request, dl time.Time) *http.Request {
+	if dl.IsZero() {
+		return r
+	}
+	return r.WithContext(context.WithValue(r.Context(), deadlineKey{}, dl))
+}
+
+// deadlineOf recovers the request's absolute deadline (zero: none).
+func deadlineOf(r *http.Request) time.Time {
+	dl, _ := r.Context().Value(deadlineKey{}).(time.Time)
+	return dl
+}
+
+// expired reports whether a non-zero deadline has passed.
+func expired(dl time.Time) bool {
+	return !dl.IsZero() && !time.Now().Before(dl)
+}
+
+// shedDeadlineHTTP counts one HTTP deadline shed and answers 504: the
+// client's budget for this request is spent, so the answer documents
+// that the server refused the work rather than timing out silently.
+func (s *Server) shedDeadlineHTTP(w http.ResponseWriter, stage int) {
+	s.shed.deadline[surfHTTP][stage].Add(1)
+	http.Error(w, "deadline exceeded before execution ("+shedStageNames[stage]+")", http.StatusGatewayTimeout)
+}
+
+// enterUpdateUntil is enterUpdate with the request's deadline applied at
+// the gate: it claims an update slot or reports that the budget ran out
+// first (the caller then sheds). A zero deadline never sheds.
+func (s *Server) enterUpdateUntil(dl time.Time) (release func(), ok bool) {
+	if s.gate == nil {
+		if expired(dl) {
+			return nil, false
+		}
+		return func() {}, true
+	}
+	t0 := time.Now()
+	if !s.gate.EnterUntil(dl) {
+		return nil, false
+	}
+	s.met.admWaitNs.Record(uint64(time.Since(t0)))
+	return s.gate.Exit, true
+}
+
+// classifyHTTP maps a data request onto a brownout class: /scan is the
+// expensive full-table walk, other GETs are reads, everything else —
+// including POST /batch, whose cost is write-like even when its ops are
+// all Gets — mutates.
+func classifyHTTP(r *http.Request) resilience.Class {
+	if r.URL.Path == "/scan" {
+		return resilience.ClassScan
+	}
+	if r.Method == http.MethodGet {
+		return resilience.ClassRead
+	}
+	return resilience.ClassWrite
+}
+
+// classifyProtoOp maps a wire op onto a brownout class (same ladder as
+// HTTP; Batch counts as a write for the same reason POST /batch does).
+func classifyProtoOp(op kvproto.Op) resilience.Class {
+	switch op {
+	case kvproto.OpGet:
+		return resilience.ClassRead
+	case kvproto.OpScan:
+		return resilience.ClassScan
+	default:
+		return resilience.ClassWrite
+	}
+}
+
+// brownSheds reports whether the current brownout level sheds class c,
+// counting the shed when it does.
+func (s *Server) brownSheds(c resilience.Class) bool {
+	if s.brown == nil || !s.brown.Sheds(c) {
+		return false
+	}
+	s.shed.brownout[c].Add(1)
+	return true
+}
+
+// brownoutMsg is the shed response body/message; it names the class so
+// a client log line is actionable without scraping /stats.
+func brownoutMsg(c resilience.Class) string {
+	return "brownout: shedding " + c.String() + " requests (p99 over SLO); retry later"
+}
+
+// deadlineShedStats renders the per-surface/stage shed counters.
+func (s *Server) deadlineShedStats() map[string]any {
+	out := make(map[string]any, nSurfaces)
+	for surf := 0; surf < nSurfaces; surf++ {
+		stages := make(map[string]uint64, nShedStages)
+		for st := 0; st < nShedStages; st++ {
+			stages[shedStageNames[st]] = s.shed.deadline[surf][st].Load()
+		}
+		out[surfaceNames[surf]] = stages
+	}
+	return out
+}
+
+// brownoutLevelName is the live level for /tuning ("off" without a
+// ladder: the server is never shedding).
+func (s *Server) brownoutLevelName() string {
+	if s.brown == nil {
+		return resilience.LevelOff.String()
+	}
+	return s.brown.Level().String()
+}
+
+// brownoutStats renders the ladder for /stats.
+func (s *Server) brownoutStats() map[string]any {
+	if s.brown == nil {
+		return map[string]any{"enabled": false}
+	}
+	esc, deesc := s.brown.Moves()
+	shed := make(map[string]uint64, resilience.NumClasses)
+	for c := 0; c < resilience.NumClasses; c++ {
+		shed[resilience.Class(c).String()] = s.shed.brownout[c].Load()
+	}
+	return map[string]any{
+		"enabled":       true,
+		"slo_ms":        s.brown.SLO().Milliseconds(),
+		"level":         s.brown.Level().String(),
+		"escalations":   esc,
+		"deescalations": deesc,
+		"shed":          shed,
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"tinystm/internal/core"
 	"tinystm/internal/kvstore"
 	"tinystm/internal/mem"
+	"tinystm/internal/resilience"
 	"tinystm/internal/tuning"
 	"tinystm/internal/wal"
 )
@@ -89,6 +90,12 @@ type Config struct {
 	// from the observed abort ratio. Requires Autotune and
 	// AdmissionWidth > 0.
 	TuneAdmission bool
+	// BrownoutSLO arms overload brownout: when the per-period request
+	// p99 (measured by the tuning runtime from the latency histogram)
+	// exceeds this, the server sheds request classes in cost order —
+	// scans first, then writes, reads last — until p99 recovers. Zero
+	// disables. Requires Autotune (the runtime is the ladder's stepper).
+	BrownoutSLO time.Duration
 	// Period, Samples, MinPeriodCommits and Bounds mirror
 	// tuning.RuntimeConfig.
 	Period           time.Duration
@@ -153,6 +160,13 @@ func (c Config) withDefaults() Config {
 	if c.AdmissionWidth <= 0 {
 		c.TuneAdmission = false
 	}
+	// Brownout needs the tuning runtime as its stepper: without Autotune
+	// the ladder would be armed but frozen at off forever — normalize to
+	// disabled so /stats never claims an overload defense that cannot
+	// engage.
+	if !c.Autotune {
+		c.BrownoutSLO = 0
+	}
 	if c.Durability == "" {
 		c.Durability = DurabilityOff
 	}
@@ -176,6 +190,10 @@ type Server struct {
 	// shard heat); proto carries the binary listener's counters.
 	met   *metrics
 	proto protoStats
+	// brown is the overload-shed ladder (nil without BrownoutSLO); shed
+	// counts deadline and brownout refusals on both surfaces.
+	brown *resilience.Brownout
+	shed  shedStats
 }
 
 // validate rejects configurations the lower layers would panic on, so
@@ -235,6 +253,9 @@ func New(cfg Config) (*Server, error) {
 	s.met = newMetrics(s)
 	tm.SetObs(s.met.tmObs)
 	s.store.SetShardHeat(s.met.heat)
+	if cfg.BrownoutSLO > 0 {
+		s.brown = resilience.NewBrownout(resilience.BrownoutConfig{SLO: cfg.BrownoutSLO})
+	}
 	if cfg.Autotune {
 		admCfg := tuning.AdmissionConfig{Enable: cfg.TuneAdmission}
 		if cfg.TuneAdmission {
@@ -248,6 +269,7 @@ func New(cfg Config) (*Server, error) {
 			CM:               tuning.CMConfig{Enable: cfg.TuneCM},
 			Snapshot:         tuning.SnapshotConfig{Enable: cfg.TuneSnapshots},
 			Admission:        admCfg,
+			Brownout:         tuning.BrownoutConfig{Enable: s.brown != nil, Brown: s.brown},
 			// A daemon tunes forever: keep only a bounded window of
 			// events in memory (/tuning serves its tail).
 			TraceCap: traceCap,
@@ -300,6 +322,12 @@ func (s *Server) Close() {
 // re-raised for net/http's connection-level recovery to log.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		dl, err := httpDeadline(r)
+		if err != nil {
+			http.Error(w, "bad "+resilience.TimeoutHeader+": "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		r = withDeadline(r, dl)
 		if !s.admit(w, r) {
 			return
 		}
@@ -312,8 +340,9 @@ func (s *Server) Handler() http.Handler {
 				if derr, ok := rec.(*kvstore.DurabilityError); ok {
 					// The commit exists in memory but its log records
 					// never reached disk: refuse the ack. The WAL's
-					// OnError has already flipped the server degraded.
-					http.Error(w, derr.Error(), http.StatusServiceUnavailable)
+					// OnError has already flipped the server degraded,
+					// so this is a retry-later, like every other 503.
+					s.unavailable(w, derr.Error())
 					return
 				}
 				panic(rec)
@@ -331,6 +360,12 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 	switch r.URL.Path {
 	case "/healthz", "/readyz", "/stats", "/tuning", "/metrics", "/debug/txtrace":
 		return true
+	}
+	// Brownout sheds whole request classes at the door, before any
+	// transaction runs or gate slot is waited on: refusal is the point.
+	if class := classifyHTTP(r); s.brownSheds(class) {
+		s.unavailable(w, brownoutMsg(class))
+		return false
 	}
 	switch s.dur.state.Load() {
 	case stateReady:
@@ -438,7 +473,12 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad value (want a decimal uint64 body): "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	defer s.enterUpdate()()
+	release, ok := s.enterUpdateUntil(deadlineOf(r))
+	if !ok {
+		s.shedDeadlineHTTP(w, shedStageGate)
+		return
+	}
+	defer release()
 	inserted := s.store.Put(key, val)
 	writeJSON(w, http.StatusOK, map[string]bool{"inserted": inserted})
 }
@@ -448,7 +488,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	defer s.enterUpdate()()
+	release, ok := s.enterUpdateUntil(deadlineOf(r))
+	if !ok {
+		s.shedDeadlineHTTP(w, shedStageGate)
+		return
+	}
+	defer release()
 	if !s.store.Delete(key) {
 		http.Error(w, "key not found", http.StatusNotFound)
 		return
@@ -466,7 +511,12 @@ func (s *Server) handleCAS(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	defer s.enterUpdate()()
+	release, ok := s.enterUpdateUntil(deadlineOf(r))
+	if !ok {
+		s.shedDeadlineHTTP(w, shedStageGate)
+		return
+	}
+	defer release()
 	swapped := s.store.CAS(key, req.Old, req.New)
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": swapped})
 }
@@ -481,7 +531,12 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	defer s.enterUpdate()()
+	release, ok := s.enterUpdateUntil(deadlineOf(r))
+	if !ok {
+		s.shedDeadlineHTTP(w, shedStageGate)
+		return
+	}
+	defer release()
 	val := s.store.Add(key, req.Delta)
 	writeJSON(w, http.StatusOK, map[string]uint64{"val": val})
 }
@@ -531,8 +586,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		ops[i] = kvstore.Op{Kind: kind, Key: o.Key, Val: o.Val, Old: o.Old}
 	}
+	// A batch is one multi-key transaction: check the budget right before
+	// the expensive part, then again (for updates) at the gate.
+	dl := deadlineOf(r)
+	if expired(dl) {
+		s.shedDeadlineHTTP(w, shedStageOp)
+		return
+	}
 	if !readOnlyOps(ops) {
-		defer s.enterUpdate()()
+		release, ok := s.enterUpdateUntil(dl)
+		if !ok {
+			s.shedDeadlineHTTP(w, shedStageGate)
+			return
+		}
+		defer release()
 	}
 	res := s.store.Apply(ops)
 	out := make([]wireResult, len(res))
@@ -569,6 +636,12 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		if n < limit {
 			limit = n
 		}
+	}
+	// The full-table walk is the server's most expensive read: a request
+	// whose budget already ran out must not start it.
+	if expired(deadlineOf(r)) {
+		s.shedDeadlineHTTP(w, shedStageOp)
+		return
 	}
 	pairs, total := s.store.Scan(limit)
 	if pairs == nil {
@@ -622,6 +695,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"durability": s.durabilityStats(st.RedoRecords),
 		"admission":  s.admissionStats(),
 		"proto":      s.proto.stats(),
+		"brownout":   s.brownoutStats(),
+		"deadline":   map[string]any{"shed": s.deadlineShedStats()},
 	})
 }
 
@@ -646,6 +721,7 @@ func (s *Server) admissionStats() map[string]any {
 		"inflight": inflight,
 		"admitted": admitted,
 		"waited":   waited,
+		"expired":  s.gate.Expired(),
 	}
 }
 
@@ -666,6 +742,8 @@ type wireEvent struct {
 	SnapTooOld uint64     `json:"snap_too_old,omitempty"`
 	AdmWidth   int        `json:"adm_width,omitempty"`
 	NextAdm    int        `json:"next_adm_width,omitempty"`
+	Brownout   string     `json:"brownout,omitempty"`
+	NextBrown  string     `json:"next_brownout,omitempty"`
 	LatP50Ns   int64      `json:"lat_p50_ns,omitempty"`
 	LatP99Ns   int64      `json:"lat_p99_ns,omitempty"`
 	LatSamples uint64     `json:"lat_samples,omitempty"`
@@ -749,6 +827,12 @@ func (s *Server) handleTuning(w http.ResponseWriter, r *http.Request) {
 				we.AdmErr = e.AdmErr.Error()
 			}
 		}
+		if s.brown != nil {
+			we.Brownout = e.Brownout.String()
+			if e.BrownoutChanged {
+				we.NextBrown = e.NextBrownout.String()
+			}
+		}
 		if e.LatSamples > 0 {
 			we.LatP50Ns = int64(e.LatP50)
 			we.LatP99Ns = int64(e.LatP99)
@@ -783,6 +867,8 @@ func (s *Server) handleTuning(w http.ResponseWriter, r *http.Request) {
 		"admission_tuning":  s.cfg.TuneAdmission,
 		"admission_width":   s.admissionWidth(),
 		"admission_moves":   s.rt.AdmissionMoves(),
+		"brownout_tuning":   s.brown != nil,
+		"brownout_level":    s.brownoutLevelName(),
 		"events":            out,
 	})
 }

@@ -1,0 +1,323 @@
+// Package netchaos is a deterministic in-process TCP fault injector: a
+// proxy that sits between a client and a real server and mangles the
+// byte stream on the way through — added latency, mid-stream stalls,
+// connection resets, partial writes, and byte corruption (the last
+// proving the protocol's CRC layer actually earns its keep).
+//
+// Faults fire at byte-count thresholds drawn from a seeded generator,
+// not from timers or real randomness, so a given (seed, byte stream)
+// replays the same faults every run — chaos tests stay debuggable.
+// This is the network-layer sibling of wal.MemFS's filesystem fault
+// injection: same philosophy (deterministic, in-process, no external
+// tooling), one layer down the stack.
+//
+// The proxy makes one simplification against real TCP: it does not
+// forward half-closes. Any stream error, EOF, or injected reset severs
+// BOTH directions (resets with SO_LINGER=0, so the client sees RST,
+// not FIN). For request/response protocols that is indistinguishable
+// from a middlebox dropping the connection, which is the failure being
+// simulated.
+package netchaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tinystm/internal/rng"
+)
+
+// Config configures a Proxy. Every fault defaults to off; a zero
+// Config is a faithful forwarder.
+type Config struct {
+	// Target is the upstream address to forward to. Required.
+	Target string
+	// Listen is the address to listen on (default "127.0.0.1:0").
+	Listen string
+	// Seed seeds the deterministic fault generator (default 1). Each
+	// connection direction derives its own stream from it.
+	Seed uint64
+
+	// Latency is a fixed delay added before forwarding each read (per
+	// direction) — cheap one-way latency simulation.
+	Latency time.Duration
+
+	// StallEvery injects a StallFor pause roughly every N forwarded
+	// bytes per direction (threshold drawn uniformly from [N/2, 3N/2)).
+	// Models a congested or half-frozen middlebox.
+	StallEvery int64
+	StallFor   time.Duration
+
+	// ResetEvery severs the connection (RST) after roughly N forwarded
+	// bytes in one direction.
+	ResetEvery int64
+
+	// CorruptEvery flips one byte roughly every N forwarded bytes per
+	// direction.
+	CorruptEvery int64
+
+	// ChunkBytes splits every forward into writes of at most this many
+	// bytes (partial-write torture for readers that assume one Read per
+	// frame). 0 forwards reads whole.
+	ChunkBytes int
+}
+
+// Stats are the proxy's cumulative fault counters.
+type Stats struct {
+	// Accepted counts client connections accepted (including ones
+	// refused by a blackout); Active is the current live count.
+	Accepted, Active uint64
+	// Resets counts injected severs (ResetEvery + blackout kills),
+	// Corrupted flipped bytes, Stalls injected pauses.
+	Resets, Corrupted, Stalls uint64
+}
+
+// Proxy is a running chaos proxy. Create with New, stop with Close.
+type Proxy struct {
+	cfg Config
+	l   net.Listener
+
+	closed   chan struct{}
+	wg       sync.WaitGroup
+	blackout atomic.Bool
+
+	mu    sync.Mutex
+	conns map[*link]struct{}
+	seq   uint64
+
+	accepted  atomic.Uint64
+	resets    atomic.Uint64
+	corrupted atomic.Uint64
+	stalls    atomic.Uint64
+}
+
+// link is one proxied connection pair.
+type link struct {
+	client, server net.Conn
+	once           sync.Once
+}
+
+// sever tears down both directions. reset=true sends RST to the client
+// (SO_LINGER=0) instead of a clean FIN.
+func (ln *link) sever(reset bool) {
+	ln.once.Do(func() {
+		if reset {
+			if tc, ok := ln.client.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+		}
+		ln.client.Close()
+		ln.server.Close()
+	})
+}
+
+// New starts a proxy for cfg and begins accepting.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("netchaos: Config.Target is required")
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	l, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{cfg: cfg, l: l, closed: make(chan struct{}), conns: make(map[*link]struct{})}
+	p.wg.Add(1)
+	go p.accept()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (point clients here).
+func (p *Proxy) Addr() string { return p.l.Addr().String() }
+
+// SetBlackout switches outage mode: while on, new connections are
+// accepted and immediately reset and every live connection is killed —
+// the deterministic way to trip a client's circuit breaker. Switching
+// it off restores normal proxying.
+func (p *Proxy) SetBlackout(on bool) {
+	p.blackout.Store(on)
+	if on {
+		p.KillAll()
+	}
+}
+
+// KillAll severs every live proxied connection with a reset.
+func (p *Proxy) KillAll() {
+	p.mu.Lock()
+	links := make([]*link, 0, len(p.conns))
+	for ln := range p.conns {
+		links = append(links, ln)
+	}
+	p.mu.Unlock()
+	for _, ln := range links {
+		p.resets.Add(1)
+		ln.sever(true)
+	}
+}
+
+// Stats snapshots the fault counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	active := uint64(len(p.conns))
+	p.mu.Unlock()
+	return Stats{
+		Accepted:  p.accepted.Load(),
+		Active:    active,
+		Resets:    p.resets.Load(),
+		Corrupted: p.corrupted.Load(),
+		Stalls:    p.stalls.Load(),
+	}
+}
+
+// Close stops accepting, severs everything, and waits for the pumps.
+func (p *Proxy) Close() {
+	select {
+	case <-p.closed:
+		return
+	default:
+	}
+	close(p.closed)
+	p.l.Close()
+	p.KillAll()
+	p.wg.Wait()
+}
+
+func (p *Proxy) accept() {
+	defer p.wg.Done()
+	for {
+		c, err := p.l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.accepted.Add(1)
+		if p.blackout.Load() {
+			p.resets.Add(1)
+			if tc, ok := c.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+			c.Close()
+			continue
+		}
+		up, err := net.Dial("tcp", p.cfg.Target)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		ln := &link{client: c, server: up}
+		p.mu.Lock()
+		p.conns[ln] = struct{}{}
+		id := p.seq
+		p.seq++
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.pump(ln, c, up, p.dirSeed(id, 0))
+		go p.pump(ln, up, c, p.dirSeed(id, 1))
+	}
+}
+
+// dirSeed derives an independent deterministic stream per connection
+// direction (SplitMix-style spread so nearby ids decorrelate).
+func (p *Proxy) dirSeed(connID, dir uint64) *rng.Rand {
+	return rng.New(p.cfg.Seed ^ (connID*2+dir+1)*0x9E3779B97F4A7C15)
+}
+
+// nextAfter draws the next fault threshold: every bytes on average,
+// uniform in [every/2, 3*every/2). 0 disables the fault (returns -1).
+func nextAfter(r *rng.Rand, every int64) int64 {
+	if every <= 0 {
+		return -1
+	}
+	return every/2 + int64(r.Uint64n(uint64(every)))
+}
+
+// pump forwards src→dst applying the configured faults, then severs
+// the link on any error, EOF, or injected reset.
+func (p *Proxy) pump(ln *link, src, dst net.Conn, r *rng.Rand) {
+	defer p.wg.Done()
+	defer p.unlink(ln)
+	cfg := &p.cfg
+	var forwarded int64
+	stallAt := nextAfter(r, cfg.StallEvery)
+	corruptAt := nextAfter(r, cfg.CorruptEvery)
+	resetAt := nextAfter(r, cfg.ResetEvery)
+	buf := make([]byte, 16<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if cfg.Latency > 0 && !p.sleep(cfg.Latency) {
+				ln.sever(true)
+				return
+			}
+			data := buf[:n]
+			for len(data) > 0 {
+				if resetAt >= 0 && forwarded >= resetAt {
+					p.resets.Add(1)
+					ln.sever(true)
+					return
+				}
+				if stallAt >= 0 && forwarded >= stallAt {
+					p.stalls.Add(1)
+					if !p.sleep(cfg.StallFor) {
+						ln.sever(true)
+						return
+					}
+					stallAt = forwarded + nextAfter(r, cfg.StallEvery)
+				}
+				chunk := data
+				if cfg.ChunkBytes > 0 && len(chunk) > cfg.ChunkBytes {
+					chunk = chunk[:cfg.ChunkBytes]
+				}
+				// Cut the chunk at the next fault boundary so thresholds
+				// fire at exact byte offsets regardless of read sizes.
+				for _, at := range [...]int64{resetAt, stallAt} {
+					if at >= 0 && at > forwarded && at < forwarded+int64(len(chunk)) {
+						chunk = chunk[:at-forwarded]
+					}
+				}
+				for corruptAt >= 0 && corruptAt < forwarded+int64(len(chunk)) {
+					chunk[corruptAt-forwarded] ^= 0xFF
+					p.corrupted.Add(1)
+					corruptAt = corruptAt + 1 + nextAfter(r, cfg.CorruptEvery)
+				}
+				if _, werr := dst.Write(chunk); werr != nil {
+					ln.sever(false)
+					return
+				}
+				forwarded += int64(len(chunk))
+				data = data[len(chunk):]
+			}
+		}
+		if err != nil {
+			ln.sever(false)
+			return
+		}
+	}
+}
+
+// sleep waits d or until the proxy closes; false means closing.
+func (p *Proxy) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.closed:
+		return false
+	}
+}
+
+func (p *Proxy) unlink(ln *link) {
+	p.mu.Lock()
+	delete(p.conns, ln)
+	p.mu.Unlock()
+}

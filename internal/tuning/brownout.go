@@ -1,0 +1,22 @@
+package tuning
+
+// The brownout controller: the runtime's period loop feeds the server's
+// overload ladder (resilience.Brownout) with the same per-period
+// request-latency measurement it already stamps onto every Event. The
+// ladder itself decides nothing about WHAT to shed — the server maps
+// levels to request classes — the controller's job is only the single-
+// stepper discipline: exactly one goroutine calls Step, once per period,
+// INCLUDING idle periods. Idle matters: an overloaded server that sheds
+// its way back to quiescence must walk the ladder down again, and the
+// only evidence of calm is periods with no (or few) requests.
+
+import "tinystm/internal/resilience"
+
+// BrownoutConfig wires the overload controller into the runtime.
+type BrownoutConfig struct {
+	// Enable turns the controller on; Brown must then be non-nil.
+	Enable bool
+	// Brown is the server's ladder. The runtime is its single stepper;
+	// the server reads Level() concurrently on every request.
+	Brown *resilience.Brownout
+}

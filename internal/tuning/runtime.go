@@ -8,6 +8,7 @@ import (
 	"tinystm/internal/cm"
 	"tinystm/internal/core"
 	"tinystm/internal/obs"
+	"tinystm/internal/resilience"
 )
 
 // System is the runtime's view of a tunable STM: an O(1) lock-free sampler
@@ -79,6 +80,15 @@ type Event struct {
 	// controller then steers on throughput alone.
 	LatP50, LatP99 time.Duration
 	LatSamples     uint64
+	// Brownout is the overload-shed level live during the period and
+	// NextBrownout the one after stepping the ladder on the period's p99;
+	// BrownoutChanged marks a move. Only meaningful with the brownout
+	// controller enabled (RuntimeConfig.Brownout.Enable). Unlike every
+	// other dimension, the ladder also steps on Idle periods — idleness
+	// is the calm that walks it back down.
+	Brownout        resilience.Level
+	NextBrownout    resilience.Level
+	BrownoutChanged bool
 	// Err reports a failed Reconfigure (the system keeps its previous
 	// parameters; the tuner's memory still records the move). CMErr
 	// reports a failed SetCM, SnapErr a failed SetVersionBudget and
@@ -93,7 +103,11 @@ type Event struct {
 func (e Event) String() string {
 	switch {
 	case e.Idle:
-		return fmt.Sprintf("period %d: %v idle (%d commits), holding", e.Period, e.Params, e.Commits)
+		s := fmt.Sprintf("period %d: %v idle (%d commits), holding", e.Period, e.Params, e.Commits)
+		if e.BrownoutChanged {
+			s += fmt.Sprintf(", brownout %v -> %v", e.Brownout, e.NextBrownout)
+		}
+		return s
 	case e.Err != nil:
 		return fmt.Sprintf("period %d: %v %.0f txs/s, move %v failed: %v", e.Period, e.Params, e.Throughput, e.Move, e.Err)
 	default:
@@ -119,6 +133,9 @@ func (e Event) String() string {
 		}
 		if e.AdmErr != nil {
 			s += fmt.Sprintf(" (admission move failed: %v)", e.AdmErr)
+		}
+		if e.BrownoutChanged {
+			s += fmt.Sprintf(", brownout %v -> %v", e.Brownout, e.NextBrownout)
 		}
 		return s
 	}
@@ -174,6 +191,15 @@ type RuntimeConfig struct {
 	// walks the gate's width — shrink when aborts climb, probe wider
 	// when calm.
 	Admission AdmissionConfig
+
+	// Brownout configures the overload-shed controller. With
+	// Brownout.Enable, Brownout.Brown must carry the server's ladder and
+	// Latency should carry the request histogram (without it the ladder
+	// only ever sees calm): each period the controller feeds the ladder
+	// the period's p99 and sample count, stepping it up under sustained
+	// SLO violation and back down under sustained calm — including idle
+	// periods, which every other controller skips.
+	Brownout BrownoutConfig
 
 	// Latency, when non-nil, is the server's request-latency histogram
 	// (nanoseconds). The runtime snapshots it once per period and
@@ -248,6 +274,10 @@ type Runtime struct {
 	// server's token bucket, admT the rule engine.
 	admGate AdmissionGate
 	admT    *admTuner
+
+	// Overload-shed ladder (nil when disabled); the runtime is its
+	// single stepper.
+	brown *resilience.Brownout
 }
 
 // NewRuntime builds a controller over sys. The tuner starts at
@@ -275,6 +305,9 @@ func NewRuntime(sys System, cfg RuntimeConfig) *Runtime {
 		r.admGate = cfg.Admission.Gate
 		r.admT = newAdmTuner(cfg.Admission, r.admGate.Width())
 	}
+	if cfg.Brownout.Enable && cfg.Brownout.Brown != nil {
+		r.brown = cfg.Brownout.Brown
+	}
 	return r
 }
 
@@ -299,6 +332,10 @@ func (r *Runtime) Start() error {
 	if r.cfg.Admission.Enable && r.admGate == nil {
 		r.mu.Unlock()
 		return fmt.Errorf("tuning: admission controller enabled but AdmissionConfig.Gate is nil")
+	}
+	if r.cfg.Brownout.Enable && r.brown == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("tuning: brownout controller enabled but BrownoutConfig.Brown is nil")
 	}
 	// Claim the start before the unlocked Reconfigure below: a concurrent
 	// Start must fail here rather than race in — its stale Reconfigure
@@ -553,6 +590,15 @@ func (r *Runtime) step(maxTp float64, commits, aborts, snapTooOld, snapReads uin
 	}
 	if r.admT != nil {
 		ev.AdmWidth, ev.NextAdmWidth = r.admT.width, r.admT.width
+	}
+	if r.brown != nil {
+		// The ladder steps on EVERY period, idle ones included: idle is
+		// exactly the calm evidence that walks an escalated server back.
+		// Step applies the level atomically itself (the request paths read
+		// it lock-free), so unlike the other dimensions there is nothing
+		// to install outside the lock and no error path to roll back.
+		ev.Brownout = r.brown.Level()
+		ev.NextBrownout, ev.BrownoutChanged = r.brown.Step(ev.LatP99, ev.LatSamples)
 	}
 	r.periods++
 	if commits < r.cfg.MinPeriodCommits {

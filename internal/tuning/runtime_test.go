@@ -10,6 +10,7 @@ import (
 	"tinystm/internal/harness"
 	"tinystm/internal/mem"
 	"tinystm/internal/obs"
+	"tinystm/internal/resilience"
 )
 
 // virtualEnv is a fake System plus fake clock: time only advances when the
@@ -29,6 +30,10 @@ type virtualEnv struct {
 	reached     chan struct{} // closed (once) when maxTicks waits have elapsed
 	reachedOnce sync.Once
 	reconfigs   int
+	// onTick, when set, runs on the runtime goroutine after each clock
+	// advance — a deterministic injection point for per-period inputs
+	// (e.g. latency recordings for the brownout controller).
+	onTick func(tick int)
 }
 
 func newVirtualEnv(start core.Params, rate func(core.Params) float64, maxTicks int) *virtualEnv {
@@ -75,6 +80,9 @@ func (v *virtualEnv) After(d time.Duration) <-chan time.Time {
 	v.ticks++
 	v.now = v.now.Add(d)
 	v.commits += uint64(v.rate(v.params) * d.Seconds())
+	if v.onTick != nil {
+		v.onTick(v.ticks)
+	}
 	ch <- v.now
 	return ch
 }
@@ -413,5 +421,114 @@ func TestRuntimeLatencyDeltas(t *testing.T) {
 		if s := e.String(); !strings.Contains(s, "lat p50=") && !e.Idle {
 			t.Fatalf("event %d: String() misses latency: %q", i, s)
 		}
+	}
+}
+
+// TestRuntimeBrownoutLadderFollowsLatency drives the brownout controller
+// through a full escalation and walk-back using latency injected on the
+// runtime's own goroutine: sustained p99 over the SLO climbs the ladder
+// one rung per EscalateAfter periods, sustained calm walks it back down.
+func TestRuntimeBrownoutLadderFollowsLatency(t *testing.T) {
+	start := p(8, 0, 1)
+	env := newVirtualEnv(start, func(core.Params) float64 { return 100 }, 42)
+	hist := obs.NewHistogram()
+	const samplesPerPeriod = 3
+	env.onTick = func(tick int) {
+		lat := uint64(20 * time.Millisecond) // hot: p99 over the 10ms SLO
+		if tick > 6*samplesPerPeriod {
+			lat = uint64(time.Millisecond) // calm
+		}
+		hist.Record(lat)
+		hist.Record(lat)
+	}
+	brown := resilience.NewBrownout(resilience.BrownoutConfig{
+		SLO: 10 * time.Millisecond, EscalateAfter: 2, CalmAfter: 2, MinSamples: 4,
+	})
+	cfg := env.config(Config{Initial: start, Seed: 1})
+	cfg.Latency = hist
+	cfg.Brownout = BrownoutConfig{Enable: true, Brown: brown}
+	rt := NewRuntime(env, cfg)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	<-env.reached
+	rt.Stop()
+
+	maxLevel := resilience.LevelOff
+	changes := 0
+	for _, ev := range rt.Trace() {
+		if ev.BrownoutChanged {
+			changes++
+			if ev.NextBrownout > maxLevel {
+				maxLevel = ev.NextBrownout
+			}
+		}
+	}
+	if maxLevel != resilience.LevelShedAll {
+		t.Errorf("ladder peaked at %v, want shed-all under sustained overload", maxLevel)
+	}
+	if brown.Level() != resilience.LevelOff {
+		t.Errorf("ladder parked at %v after sustained calm, want off", brown.Level())
+	}
+	esc, deesc := brown.Moves()
+	if esc != 3 || deesc != 3 {
+		t.Errorf("moves = (%d escalations, %d deescalations), want (3, 3)", esc, deesc)
+	}
+	if changes != 6 {
+		t.Errorf("trace carries %d brownout changes, want 6", changes)
+	}
+}
+
+// TestRuntimeBrownoutStepsOnIdlePeriods pins the idle rule: an escalated
+// server whose load vanished entirely (zero commits — every other
+// controller holds) must still walk the ladder back down, and the Idle
+// trace events must carry the change.
+func TestRuntimeBrownoutStepsOnIdlePeriods(t *testing.T) {
+	start := p(8, 0, 1)
+	env := newVirtualEnv(start, func(core.Params) float64 { return 0 }, 12)
+	brown := resilience.NewBrownout(resilience.BrownoutConfig{
+		SLO: 10 * time.Millisecond, EscalateAfter: 2, CalmAfter: 2, MinSamples: 4,
+	})
+	// Pre-escalate to shed-scans before the runtime becomes the single
+	// stepper.
+	brown.Step(20*time.Millisecond, 100)
+	brown.Step(20*time.Millisecond, 100)
+	if brown.Level() != resilience.LevelShedScans {
+		t.Fatalf("pre-escalation landed at %v, want shed-scans", brown.Level())
+	}
+	cfg := env.config(Config{Initial: start, Seed: 1})
+	cfg.Brownout = BrownoutConfig{Enable: true, Brown: brown}
+	rt := NewRuntime(env, cfg)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	<-env.reached
+	rt.Stop()
+
+	if brown.Level() != resilience.LevelOff {
+		t.Errorf("idle periods never walked the ladder back: level %v", brown.Level())
+	}
+	idleChange := false
+	for _, ev := range rt.Trace() {
+		if ev.Idle && ev.BrownoutChanged {
+			idleChange = true
+		}
+	}
+	if !idleChange {
+		t.Error("no Idle trace event carries the brownout walk-back")
+	}
+}
+
+// TestRuntimeBrownoutEnableRequiresLadder mirrors the other controllers'
+// Start-time validation.
+func TestRuntimeBrownoutEnableRequiresLadder(t *testing.T) {
+	start := p(8, 0, 1)
+	env := newVirtualEnv(start, func(core.Params) float64 { return 1 }, 3)
+	cfg := env.config(Config{Initial: start})
+	cfg.Brownout = BrownoutConfig{Enable: true}
+	rt := NewRuntime(env, cfg)
+	if err := rt.Start(); err == nil {
+		rt.Stop()
+		t.Fatal("Start accepted an enabled brownout controller with a nil ladder")
 	}
 }
